@@ -1,0 +1,89 @@
+// Command tcamexp regenerates the paper's tables and figures on the
+// synthetic worlds (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	tcamexp -list                      enumerate experiments
+//	tcamexp -exp figure6               run one experiment
+//	tcamexp -all                       run every experiment in paper order
+//	tcamexp -all -scale 0.25 -fast     lighter run for smoke checks
+//	tcamexp -all -out results.txt      tee the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tcam/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		showIDs = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 1.0, "world scale multiplier")
+		fast    = flag.Bool("fast", false, "use the light training budgets")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		outPath = flag.String("out", "", "also write the report to this file")
+		workers = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
+		burnin  = flag.Int("burnin", 0, "override BPTF Gibbs burn-in sweeps (0 = config default)")
+		samples = flag.Int("samples", 0, "override BPTF retained Gibbs samples (0 = config default)")
+	)
+	flag.Parse()
+	if err := run(*list, *all, *showIDs, *scale, *fast, *seed, *outPath, *workers, *burnin, *samples); err != nil {
+		fmt.Fprintln(os.Stderr, "tcamexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expID string, all, showIDs bool, scale float64, fast bool, seed int64, outPath string, workers, burnin, samples int) error {
+	if showIDs {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := experiments.Default()
+	if fast {
+		cfg = experiments.Small()
+		cfg.Scale = 1 // -fast trims training budgets; -scale trims worlds
+	}
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if burnin > 0 {
+		cfg.GibbsBurnin = burnin
+	}
+	if samples > 0 {
+		cfg.GibbsKeep = samples
+	}
+	runner := experiments.NewRunner(cfg)
+
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	switch {
+	case all:
+		return experiments.RunAll(runner, w)
+	case expID != "":
+		e, ok := experiments.Find(expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", expID)
+		}
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		return e.Run(runner, w)
+	default:
+		return fmt.Errorf("pass -all, -exp <id>, or -list")
+	}
+}

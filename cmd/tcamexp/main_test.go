@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run("", false, true, 1, false, 1, "", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, false, 1, false, 1, "", 0, 0, 0); err == nil {
+		t.Error("run accepted no action")
+	}
+	if err := run("not-an-experiment", false, false, 1, false, 1, "", 0, 0, 0); err == nil {
+		t.Error("run accepted unknown experiment id")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	// table2 is the cheapest experiment: dataset generation only.
+	if err := run("table2", false, false, 0.1, true, 1, "", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tcam/internal/dataset"
+)
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"digg", "MovieLens", "DOUBAN", "delicious"} {
+		if _, err := parseProfile(name); err != nil {
+			t.Errorf("parseProfile(%q): %v", name, err)
+		}
+	}
+	if _, err := parseProfile("netflix"); err == nil {
+		t.Error("parseProfile accepted an unknown profile")
+	}
+}
+
+func TestRunWritesLog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := run("digg", out, 3, 50, 80, 20); err != nil {
+		t.Fatal(err)
+	}
+	log, err := dataset.LoadJSONLFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() == 0 {
+		t.Error("generated log is empty")
+	}
+	if log.NumItems() > 80 {
+		t.Errorf("item override ignored: %d items", log.NumItems())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("digg", "", 1, 0, 0, 0); err == nil {
+		t.Error("run accepted empty output path")
+	}
+	if err := run("bogus", filepath.Join(t.TempDir(), "x"), 1, 0, 0, 0); err == nil {
+		t.Error("run accepted unknown profile")
+	}
+	if err := run("digg", filepath.Join(t.TempDir(), "x"), 1, -5, 0, 0); err == nil {
+		// negative override leaves defaults; generation succeeds, so no
+		// error expected — verify that explicitly.
+		t.Log("negative user override fell back to defaults (expected)")
+	}
+}

@@ -1,0 +1,59 @@
+// Command tcamquery answers temporal top-k queries against a trained
+// bundle from the command line, printing the ranked items with scores.
+//
+// Usage:
+//
+//	tcamquery -bundle digg.tcam -user u00042 -time 37 [-k 10] [-exclude item1,item2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcam"
+)
+
+func main() {
+	var (
+		bundle  = flag.String("bundle", "", "trained bundle path (required)")
+		user    = flag.String("user", "", "user identifier (required)")
+		when    = flag.Int64("time", 0, "query time in dataset ticks")
+		k       = flag.Int("k", 10, "number of recommendations")
+		exclude = flag.String("exclude", "", "comma-separated item IDs to exclude")
+	)
+	flag.Parse()
+	if err := run(*bundle, *user, *when, *k, *exclude); err != nil {
+		fmt.Fprintln(os.Stderr, "tcamquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bundlePath, user string, when int64, k int, exclude string) error {
+	if bundlePath == "" || user == "" {
+		return fmt.Errorf("-bundle and -user are required")
+	}
+	rec, err := tcam.LoadRecommender(bundlePath)
+	if err != nil {
+		return err
+	}
+	var banned []string
+	if exclude != "" {
+		banned = strings.Split(exclude, ",")
+	}
+	results, err := rec.RecommendExcluding(user, when, k, banned)
+	if err != nil {
+		return err
+	}
+	lambda, err := rec.Lambda(user)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-%d for %s at t=%d (interval %d, λu=%.3f):\n",
+		k, user, when, rec.Grid().IntervalOf(when), lambda)
+	for i, r := range results {
+		fmt.Printf("%3d. %-40s %.6g\n", i+1, r.ItemID, r.Score)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"tcam"
+)
+
+func trainedBundle(t *testing.T) string {
+	t.Helper()
+	log := tcam.NewDataset()
+	for day := int64(0); day < 6; day++ {
+		for u := 0; u < 8; u++ {
+			user := fmt.Sprintf("user%d", u)
+			if err := log.Add(user, fmt.Sprintf("item-%d", day), day, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := tcam.DefaultOptions()
+	opts.K1, opts.K2, opts.MaxIters = 3, 3, 10
+	rec, err := tcam.Train(log, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.tcam")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQueryRun(t *testing.T) {
+	bundle := trainedBundle(t)
+	if err := run(bundle, "user3", 2, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bundle, "user3", 2, 3, "item-0,item-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	bundle := trainedBundle(t)
+	if err := run("", "user3", 0, 3, ""); err == nil {
+		t.Error("run accepted empty bundle path")
+	}
+	if err := run(bundle, "", 0, 3, ""); err == nil {
+		t.Error("run accepted empty user")
+	}
+	if err := run(bundle, "nobody", 0, 3, ""); err == nil {
+		t.Error("run accepted unknown user")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing"), "user3", 0, 3, ""); err == nil {
+		t.Error("run accepted missing bundle")
+	}
+}

@@ -1,0 +1,56 @@
+// Command tcamserver serves a trained bundle over HTTP (see
+// internal/server for the endpoint list).
+//
+// Usage:
+//
+//	tcamserver -bundle digg.tcam [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"tcam/internal/index"
+	"tcam/internal/server"
+)
+
+func main() {
+	var (
+		bundlePath = flag.String("bundle", "", "trained bundle path (required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if err := run(*bundlePath, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "tcamserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bundlePath, addr string) error {
+	srv, b, err := buildServer(bundlePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s bundle (%d users, %d items) on %s\n", b.Kind, len(b.Users), len(b.Items), addr)
+	fmt.Println("endpoints: /healthz  /recommend?user=&time=&k=  /topics/{z}?n=  /users/{id}/lambda")
+	return http.ListenAndServe(addr, srv)
+}
+
+// buildServer loads the bundle and constructs the handler; split from
+// run so tests can exercise everything short of listening.
+func buildServer(bundlePath string) (*server.Server, *index.Bundle, error) {
+	if bundlePath == "" {
+		return nil, nil, fmt.Errorf("-bundle is required")
+	}
+	b, err := index.Load(bundlePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, b, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"tcam"
+)
+
+func trainedBundle(t *testing.T) string {
+	t.Helper()
+	log := tcam.NewDataset()
+	for day := int64(0); day < 5; day++ {
+		for u := 0; u < 6; u++ {
+			if err := log.Add(fmt.Sprintf("user%d", u), fmt.Sprintf("item-%d", day), day, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := tcam.DefaultOptions()
+	opts.K1, opts.K2, opts.MaxIters = 3, 3, 8
+	rec, err := tcam.Train(log, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.tcam")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildServerServes(t *testing.T) {
+	srv, b, err := buildServer(trainedBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Users) != 6 {
+		t.Errorf("bundle users = %d", len(b.Users))
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/recommend?user=user2&time=3&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, _, err := buildServer(""); err == nil {
+		t.Error("accepted empty bundle path")
+	}
+	if _, _, err := buildServer(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("accepted missing bundle")
+	}
+}

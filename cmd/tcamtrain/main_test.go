@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"tcam"
+)
+
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	log := tcam.NewDataset()
+	for day := int64(0); day < 8; day++ {
+		for u := 0; u < 10; u++ {
+			user := fmt.Sprintf("u%02d", u)
+			if err := log.Add(user, fmt.Sprintf("hot-%d", day), day, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := log.Add(user, fmt.Sprintf("pet-%d", u%3), day, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	if err := log.SaveJSONLFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainRoundtrip(t *testing.T) {
+	in := writeTestLog(t)
+	out := filepath.Join(t.TempDir(), "model.tcam")
+	if err := run(in, out, "ttcam", 1, 4, 3, 10, true, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tcam.LoadRecommender(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := rec.Recommend("u03", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Errorf("got %d recommendations", len(top))
+	}
+}
+
+func TestTrainITCAMVariant(t *testing.T) {
+	in := writeTestLog(t)
+	out := filepath.Join(t.TempDir(), "model.tcam")
+	if err := run(in, out, "itcam", 2, 4, 0, 10, false, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tcam.LoadRecommender(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if err := run("", "out", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
+		t.Error("run accepted empty input")
+	}
+	if err := run("in", "", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
+		t.Error("run accepted empty output")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.jsonl"), "out", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
+		t.Error("run accepted missing input file")
+	}
+	in := writeTestLog(t)
+	if err := run(in, filepath.Join(t.TempDir(), "x"), "bogus", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
+		t.Error("run accepted unknown variant")
+	}
+}

@@ -1,0 +1,3 @@
+module tcam
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package core provides the unified model registry the experiment
+// harness and CLI tools drive: every method compared in the paper's
+// Section 5 — UT, TT, ITCAM, TTCAM, their item-weighted variants
+// W-ITCAM / W-TTCAM, BPRMF and BPTF — is trainable through one entry
+// point with one option set, so sweeps and head-to-head tables stay
+// honest (same data, same seeds, same budgets).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+	"tcam/internal/model/bprmf"
+	"tcam/internal/model/bptf"
+	"tcam/internal/model/itcam"
+	"tcam/internal/model/timesvd"
+	"tcam/internal/model/tt"
+	"tcam/internal/model/ttcam"
+	"tcam/internal/model/ut"
+	"tcam/internal/weighting"
+)
+
+// Method names a trainable model, matching the labels in the paper's
+// figures.
+type Method string
+
+// The eight methods of Section 5.2.
+const (
+	UT     Method = "UT"
+	TT     Method = "TT"
+	ITCAM  Method = "ITCAM"
+	TTCAM  Method = "TTCAM"
+	WITCAM Method = "W-ITCAM"
+	WTTCAM Method = "W-TTCAM"
+	BPRMF  Method = "BPRMF"
+	BPTF   Method = "BPTF"
+)
+
+// TimeSVD is the timeSVD++ extension (Koren, KDD 2009) — discussed in
+// the paper's related work but not part of its comparison; see
+// ExtensionMethods.
+const TimeSVD Method = "timeSVD++"
+
+// AllMethods lists every method in the paper's comparison order.
+func AllMethods() []Method {
+	return []Method{UT, TT, ITCAM, TTCAM, WITCAM, WTTCAM, BPRMF, BPTF}
+}
+
+// ExtensionMethods lists the additional models implemented beyond the
+// paper's comparison.
+func ExtensionMethods() []Method {
+	return []Method{TimeSVD}
+}
+
+// ParseMethod resolves a method name (case-sensitive, as printed in the
+// paper), including the extension methods.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range append(AllMethods(), ExtensionMethods()...) {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown method %q (want one of %v)", s, AllMethods())
+}
+
+// Weighted reports whether the method trains on the item-weighted
+// cuboid of Equation (20).
+func (m Method) Weighted() bool { return m == WITCAM || m == WTTCAM }
+
+// Temporal reports whether the method uses the time dimension at all.
+func (m Method) Temporal() bool { return m != UT && m != BPRMF }
+
+// Options is the shared training configuration. Zero values fall back
+// to each model's defaults.
+type Options struct {
+	// K1 and K2 are the topic counts for the TCAM family (K1 also
+	// drives UT's topic count, K2 TT's).
+	K1, K2 int
+	// MaxIters bounds EM training; Factors / Epochs configure the
+	// factorization baselines; Burnin / Samples the BPTF Gibbs chain.
+	MaxIters int
+	Factors  int
+	Epochs   int
+	Burnin   int
+	Samples  int
+	// Background is the TTCAM background-topic weight extension (0
+	// disables it, as in the paper).
+	Background float64
+	Seed       int64
+	Workers    int
+}
+
+// Result bundles a trained model with its statistics and wall-clock
+// training time (Table 4's measurement).
+type Result struct {
+	Method    Method
+	Model     model.Recommender
+	Stats     model.TrainStats
+	TrainTime time.Duration
+}
+
+// TopicScorer returns the trained model as a TopicScorer when the
+// method supports the Section 4 decomposition, or nil (BPRMF/BPTF/UT/TT
+// have no non-negative topic decomposition registered for TA).
+func (r Result) TopicScorer() model.TopicScorer {
+	if ts, ok := r.Model.(model.TopicScorer); ok {
+		return ts
+	}
+	return nil
+}
+
+// Train fits the named method on the cuboid. Weighted methods apply the
+// Section 3.3 item-weighting scheme internally; callers always pass the
+// raw cuboid.
+func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
+	res := Result{Method: method}
+	train := data
+	if method.Weighted() {
+		train = weighting.WeightCuboid(data)
+	}
+	start := time.Now()
+	var err error
+	switch method {
+	case UT:
+		cfg := ut.DefaultConfig()
+		if opts.K1 > 0 {
+			cfg.K = opts.K1
+		}
+		if opts.MaxIters > 0 {
+			cfg.MaxIters = opts.MaxIters
+		}
+		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
+		res.Model, res.Stats, err = ut.Train(train, cfg)
+	case TT:
+		cfg := tt.DefaultConfig()
+		if opts.K2 > 0 {
+			cfg.K = opts.K2
+		}
+		if opts.MaxIters > 0 {
+			cfg.MaxIters = opts.MaxIters
+		}
+		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
+		res.Model, res.Stats, err = tt.Train(train, cfg)
+	case ITCAM, WITCAM:
+		cfg := itcam.DefaultConfig()
+		if opts.K1 > 0 {
+			cfg.K1 = opts.K1
+		}
+		if opts.MaxIters > 0 {
+			cfg.MaxIters = opts.MaxIters
+		}
+		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
+		cfg.Label = string(method)
+		res.Model, res.Stats, err = itcam.Train(train, cfg)
+	case TTCAM, WTTCAM:
+		cfg := ttcam.DefaultConfig()
+		if opts.K1 > 0 {
+			cfg.K1 = opts.K1
+		}
+		if opts.K2 > 0 {
+			cfg.K2 = opts.K2
+		}
+		if opts.MaxIters > 0 {
+			cfg.MaxIters = opts.MaxIters
+		}
+		cfg.Background = opts.Background
+		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
+		cfg.Label = string(method)
+		res.Model, res.Stats, err = ttcam.Train(train, cfg)
+	case BPRMF:
+		cfg := bprmf.DefaultConfig()
+		if opts.Factors > 0 {
+			cfg.Factors = opts.Factors
+		}
+		if opts.Epochs > 0 {
+			cfg.Epochs = opts.Epochs
+		}
+		cfg.Seed = seedOf(opts)
+		res.Model, res.Stats, err = bprmf.Train(train, cfg)
+	case TimeSVD:
+		cfg := timesvd.DefaultConfig()
+		if opts.Factors > 0 {
+			cfg.Factors = opts.Factors
+		}
+		if opts.Epochs > 0 {
+			cfg.Epochs = opts.Epochs
+		}
+		cfg.Seed = seedOf(opts)
+		res.Model, res.Stats, err = timesvd.Train(train, cfg)
+	case BPTF:
+		cfg := bptf.DefaultConfig()
+		if opts.Factors > 0 {
+			cfg.Factors = opts.Factors
+		}
+		if opts.Burnin > 0 {
+			cfg.Burnin = opts.Burnin
+		}
+		if opts.Samples > 0 {
+			cfg.Samples = opts.Samples
+		}
+		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
+		res.Model, res.Stats, err = bptf.Train(train, cfg)
+	default:
+		return res, fmt.Errorf("core: unknown method %q", method)
+	}
+	res.TrainTime = time.Since(start)
+	if err != nil {
+		return res, fmt.Errorf("core: train %s: %w", method, err)
+	}
+	return res, nil
+}
+
+func seedOf(opts Options) int64 {
+	if opts.Seed != 0 {
+		return opts.Seed
+	}
+	return 1
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+func smallWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(3))
+	b := cuboid.NewBuilder(20, 4, 25)
+	for u := 0; u < 20; u++ {
+		for t := 0; t < 4; t++ {
+			b.MustAdd(u, t, (u+t)%25, 1)
+			b.MustAdd(u, t, rng.Intn(25), 1)
+		}
+	}
+	return b.Build()
+}
+
+func fastOpts() Options {
+	return Options{K1: 5, K2: 4, MaxIters: 5, Factors: 4, Epochs: 5, Burnin: 2, Samples: 2, Seed: 1, Workers: 2}
+}
+
+func TestTrainAllMethods(t *testing.T) {
+	data := smallWorld(t)
+	for _, m := range AllMethods() {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			res, err := Train(m, data, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Model == nil {
+				t.Fatal("nil model")
+			}
+			if res.Model.Name() != string(m) && m != WITCAM && m != WTTCAM {
+				t.Errorf("model name %q, method %q", res.Model.Name(), m)
+			}
+			if res.Model.NumItems() != 25 {
+				t.Errorf("NumItems = %d", res.Model.NumItems())
+			}
+			if res.TrainTime <= 0 {
+				t.Error("train time not recorded")
+			}
+			// Every model must produce a usable score.
+			_ = res.Model.Score(0, 0, 0)
+		})
+	}
+}
+
+func TestWeightedVariantsDiffer(t *testing.T) {
+	data := smallWorld(t)
+	plain, err := Train(TTCAM, data, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Train(WTTCAM, data, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Model.Name() != "W-TTCAM" {
+		t.Errorf("weighted label = %q", weighted.Model.Name())
+	}
+	same := true
+	for v := 0; v < 25; v++ {
+		if plain.Model.Score(0, 0, v) != weighted.Model.Score(0, 0, v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("weighted training produced identical scores; weighting had no effect")
+	}
+}
+
+func TestTopicScorerAvailability(t *testing.T) {
+	data := smallWorld(t)
+	hasTA := map[Method]bool{ITCAM: true, TTCAM: true, WITCAM: true, WTTCAM: true}
+	for _, m := range AllMethods() {
+		res, err := Train(m, data, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.TopicScorer() != nil; got != hasTA[m] {
+			t.Errorf("%s: TopicScorer available = %v, want %v", m, got, hasTA[m])
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, m := range AllMethods() {
+		got, err := ParseMethod(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Error("ParseMethod accepted an unknown method")
+	}
+}
+
+func TestMethodPredicates(t *testing.T) {
+	if !WITCAM.Weighted() || !WTTCAM.Weighted() || TTCAM.Weighted() {
+		t.Error("Weighted predicate wrong")
+	}
+	if UT.Temporal() || BPRMF.Temporal() || !TT.Temporal() || !BPTF.Temporal() {
+		t.Error("Temporal predicate wrong")
+	}
+}
+
+func TestTrainUnknownMethod(t *testing.T) {
+	if _, err := Train(Method("bogus"), smallWorld(t), fastOpts()); err == nil {
+		t.Error("Train accepted an unknown method")
+	}
+}
+
+var _ model.Recommender = (*mockRec)(nil)
+
+type mockRec struct{}
+
+func (mockRec) Name() string              { return "mock" }
+func (mockRec) Score(u, t, v int) float64 { return 0 }
+func (mockRec) NumItems() int             { return 0 }
+
+func TestTopicScorerNilForPlainRecommender(t *testing.T) {
+	r := Result{Model: mockRec{}}
+	if r.TopicScorer() != nil {
+		t.Error("plain recommender should not expose a TopicScorer")
+	}
+}
+
+func TestTimeSVDExtension(t *testing.T) {
+	data := smallWorld(t)
+	res, err := Train(TimeSVD, data, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Name() != "timeSVD++" {
+		t.Errorf("name = %q", res.Model.Name())
+	}
+	if res.TopicScorer() != nil {
+		t.Error("timeSVD++ has no topic decomposition; TA must not apply")
+	}
+	if got, err := ParseMethod("timeSVD++"); err != nil || got != TimeSVD {
+		t.Errorf("ParseMethod(timeSVD++) = %v, %v", got, err)
+	}
+	if len(ExtensionMethods()) != 1 {
+		t.Errorf("ExtensionMethods = %v", ExtensionMethods())
+	}
+}

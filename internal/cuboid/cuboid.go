@@ -1,0 +1,229 @@
+// Package cuboid implements the paper's central data structure, the
+// rating cuboid (Definition 3): a sparse N×T×V tensor whose cell
+// (u, t, v) stores the rating score user u assigned to item v during time
+// interval t. It also provides the user-document view (Definition 2),
+// per-interval postings, aggregate statistics and gob serialization.
+//
+// The cuboid is stored sparsely: a flat, deduplicated cell slice plus
+// posting lists by user and by interval, so EM inference touches only
+// nonzero cells — O(nnz·K) per iteration rather than O(N·T·V·K).
+package cuboid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is one nonzero entry of the rating cuboid: user U rated item V
+// with score Score during time interval T. Indices are dense and
+// zero-based.
+type Cell struct {
+	U, T, V int32
+	Score   float64
+}
+
+// Cuboid is an immutable sparse rating cuboid. Build one with a Builder.
+type Cuboid struct {
+	numUsers     int
+	numIntervals int
+	numItems     int
+
+	cells  []Cell  // sorted by (U, T, V), duplicates merged
+	byUser [][]int // cell indices per user, ascending
+	byTime [][]int // cell indices per interval, ascending
+}
+
+// Builder accumulates ratings and produces a Cuboid. Duplicate
+// (u, t, v) triples are merged by summing their scores, matching the
+// paper's use of usage frequency as the rating score.
+type Builder struct {
+	numUsers     int
+	numIntervals int
+	numItems     int
+	cells        []Cell
+}
+
+// NewBuilder returns a Builder for a cuboid with the given fixed
+// dimensions. All of Add's indices must stay below these bounds.
+func NewBuilder(numUsers, numIntervals, numItems int) *Builder {
+	if numUsers < 0 || numIntervals < 0 || numItems < 0 {
+		panic("cuboid: negative dimension")
+	}
+	return &Builder{numUsers: numUsers, numIntervals: numIntervals, numItems: numItems}
+}
+
+// Add records a rating of score by user u on item v during interval t.
+// It returns an error when any index is out of range or the score is not
+// positive.
+func (b *Builder) Add(u, t, v int, score float64) error {
+	if u < 0 || u >= b.numUsers {
+		return fmt.Errorf("cuboid: user %d out of range [0,%d)", u, b.numUsers)
+	}
+	if t < 0 || t >= b.numIntervals {
+		return fmt.Errorf("cuboid: interval %d out of range [0,%d)", t, b.numIntervals)
+	}
+	if v < 0 || v >= b.numItems {
+		return fmt.Errorf("cuboid: item %d out of range [0,%d)", v, b.numItems)
+	}
+	if score <= 0 {
+		return fmt.Errorf("cuboid: non-positive score %v", score)
+	}
+	b.cells = append(b.cells, Cell{U: int32(u), T: int32(t), V: int32(v), Score: score})
+	return nil
+}
+
+// MustAdd is Add for callers with already-validated indices; it panics on
+// error and is used by generators and tests.
+func (b *Builder) MustAdd(u, t, v int, score float64) {
+	if err := b.Add(u, t, v, score); err != nil {
+		panic(err)
+	}
+}
+
+// Build sorts, merges and freezes the accumulated ratings into a Cuboid.
+// The Builder can be reused afterwards; the built Cuboid is independent.
+func (b *Builder) Build() *Cuboid {
+	cells := append([]Cell(nil), b.cells...)
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].U != cells[j].U {
+			return cells[i].U < cells[j].U
+		}
+		if cells[i].T != cells[j].T {
+			return cells[i].T < cells[j].T
+		}
+		return cells[i].V < cells[j].V
+	})
+	merged := cells[:0]
+	for _, c := range cells {
+		n := len(merged)
+		if n > 0 && merged[n-1].U == c.U && merged[n-1].T == c.T && merged[n-1].V == c.V {
+			merged[n-1].Score += c.Score
+			continue
+		}
+		merged = append(merged, c)
+	}
+	return fromCells(b.numUsers, b.numIntervals, b.numItems, merged)
+}
+
+func fromCells(numUsers, numIntervals, numItems int, cells []Cell) *Cuboid {
+	c := &Cuboid{
+		numUsers:     numUsers,
+		numIntervals: numIntervals,
+		numItems:     numItems,
+		cells:        cells,
+		byUser:       make([][]int, numUsers),
+		byTime:       make([][]int, numIntervals),
+	}
+	for i, cell := range cells {
+		c.byUser[cell.U] = append(c.byUser[cell.U], i)
+		c.byTime[cell.T] = append(c.byTime[cell.T], i)
+	}
+	return c
+}
+
+// NumUsers returns N, the user-dimension size.
+func (c *Cuboid) NumUsers() int { return c.numUsers }
+
+// NumIntervals returns T, the time-dimension size.
+func (c *Cuboid) NumIntervals() int { return c.numIntervals }
+
+// NumItems returns V, the item-dimension size.
+func (c *Cuboid) NumItems() int { return c.numItems }
+
+// NNZ returns the number of nonzero cells.
+func (c *Cuboid) NNZ() int { return len(c.cells) }
+
+// Cells returns the merged cell slice sorted by (U, T, V). Callers must
+// not modify it.
+func (c *Cuboid) Cells() []Cell { return c.cells }
+
+// UserCells returns the indices into Cells of user u's ratings, in
+// (T, V) order. Callers must not modify the slice.
+func (c *Cuboid) UserCells(u int) []int { return c.byUser[u] }
+
+// IntervalCells returns the indices into Cells of the ratings made during
+// interval t. Callers must not modify the slice.
+func (c *Cuboid) IntervalCells(t int) []int { return c.byTime[t] }
+
+// UserDocument returns user u's rating behaviors as (item, interval)
+// pairs — the user document of Definition 2.
+func (c *Cuboid) UserDocument(u int) []ItemTime {
+	idx := c.byUser[u]
+	doc := make([]ItemTime, len(idx))
+	for i, ci := range idx {
+		doc[i] = ItemTime{Item: int(c.cells[ci].V), Interval: int(c.cells[ci].T)}
+	}
+	return doc
+}
+
+// ItemTime is one entry of a user document: item rated during interval.
+type ItemTime struct {
+	Item     int
+	Interval int
+}
+
+// TotalScore returns the sum of all cell scores (the EM normalizing
+// mass).
+func (c *Cuboid) TotalScore() float64 {
+	var s float64
+	for i := range c.cells {
+		s += c.cells[i].Score
+	}
+	return s
+}
+
+// Scaled returns a copy of the cuboid whose cell (u,t,v) carries
+// Score·weight(u,t,v). Weights must be positive; non-positive weights
+// drop the cell. This implements Equation (20)'s weighted cuboid C̄.
+func (c *Cuboid) Scaled(weight func(cell Cell) float64) *Cuboid {
+	out := make([]Cell, 0, len(c.cells))
+	for _, cell := range c.cells {
+		w := weight(cell)
+		if w <= 0 {
+			continue
+		}
+		cell.Score *= w
+		out = append(out, cell)
+	}
+	return fromCells(c.numUsers, c.numIntervals, c.numItems, out)
+}
+
+// Subset returns a cuboid containing only the cells for which keep
+// returns true. Dimensions are preserved.
+func (c *Cuboid) Subset(keep func(cell Cell) bool) *Cuboid {
+	out := make([]Cell, 0, len(c.cells))
+	for _, cell := range c.cells {
+		if keep(cell) {
+			out = append(out, cell)
+		}
+	}
+	return fromCells(c.numUsers, c.numIntervals, c.numItems, out)
+}
+
+// ItemsOf returns the set of distinct items user u rated during interval
+// t, ascending. Used by the evaluation protocol's per-(u,t) splits.
+func (c *Cuboid) ItemsOf(u, t int) []int {
+	var items []int
+	for _, ci := range c.byUser[u] {
+		cell := c.cells[ci]
+		if int(cell.T) == t {
+			items = append(items, int(cell.V))
+		}
+	}
+	return items
+}
+
+// ActiveIntervals returns the intervals during which user u has at least
+// one rating, ascending.
+func (c *Cuboid) ActiveIntervals(u int) []int {
+	var out []int
+	last := -1
+	for _, ci := range c.byUser[u] {
+		t := int(c.cells[ci].T)
+		if t != last {
+			out = append(out, t)
+			last = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package cuboid
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample(t *testing.T) *Cuboid {
+	t.Helper()
+	b := NewBuilder(3, 2, 4)
+	// user 0: items 0,1 in t0; item 2 in t1
+	b.MustAdd(0, 0, 0, 1)
+	b.MustAdd(0, 0, 1, 2)
+	b.MustAdd(0, 1, 2, 1)
+	// user 1: item 0 twice in t0 (merged), item 3 in t1
+	b.MustAdd(1, 0, 0, 1)
+	b.MustAdd(1, 0, 0, 3)
+	b.MustAdd(1, 1, 3, 1)
+	// user 2: nothing
+	return b.Build()
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	c := buildSample(t)
+	if c.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5 (duplicate merged)", c.NNZ())
+	}
+	for _, cell := range c.Cells() {
+		if cell.U == 1 && cell.T == 0 && cell.V == 0 {
+			if cell.Score != 4 {
+				t.Errorf("merged score = %v, want 4", cell.Score)
+			}
+			return
+		}
+	}
+	t.Fatal("merged cell not found")
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(2, 2, 2)
+	tests := []struct {
+		name       string
+		u, tt, v   int
+		score      float64
+		wantErrSub bool
+	}{
+		{"ok", 0, 0, 0, 1, false},
+		{"user high", 2, 0, 0, 1, true},
+		{"user negative", -1, 0, 0, 1, true},
+		{"interval high", 0, 2, 0, 1, true},
+		{"item high", 0, 0, 2, 1, true},
+		{"zero score", 0, 0, 0, 0, true},
+		{"negative score", 0, 0, 0, -2, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := b.Add(tc.u, tc.tt, tc.v, tc.score)
+			if (err != nil) != tc.wantErrSub {
+				t.Errorf("Add error = %v, wantErr %v", err, tc.wantErrSub)
+			}
+		})
+	}
+}
+
+func TestCellsSorted(t *testing.T) {
+	c := buildSample(t)
+	cells := c.Cells()
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		if a.U > b.U || (a.U == b.U && a.T > b.T) || (a.U == b.U && a.T == b.T && a.V >= b.V) {
+			t.Fatalf("cells not strictly sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestPostingLists(t *testing.T) {
+	c := buildSample(t)
+	if got := len(c.UserCells(0)); got != 3 {
+		t.Errorf("user 0 has %d cells, want 3", got)
+	}
+	if got := len(c.UserCells(2)); got != 0 {
+		t.Errorf("user 2 has %d cells, want 0", got)
+	}
+	if got := len(c.IntervalCells(0)); got != 3 {
+		t.Errorf("interval 0 has %d cells, want 3", got)
+	}
+	if got := len(c.IntervalCells(1)); got != 2 {
+		t.Errorf("interval 1 has %d cells, want 2", got)
+	}
+}
+
+func TestUserDocument(t *testing.T) {
+	c := buildSample(t)
+	doc := c.UserDocument(0)
+	want := []ItemTime{{Item: 0, Interval: 0}, {Item: 1, Interval: 0}, {Item: 2, Interval: 1}}
+	if !reflect.DeepEqual(doc, want) {
+		t.Errorf("UserDocument = %v, want %v", doc, want)
+	}
+}
+
+func TestItemsOfAndActiveIntervals(t *testing.T) {
+	c := buildSample(t)
+	if got := c.ItemsOf(0, 0); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("ItemsOf(0,0) = %v, want [0 1]", got)
+	}
+	if got := c.ItemsOf(0, 1); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("ItemsOf(0,1) = %v, want [2]", got)
+	}
+	if got := c.ActiveIntervals(0); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("ActiveIntervals(0) = %v, want [0 1]", got)
+	}
+	if got := c.ActiveIntervals(2); got != nil {
+		t.Errorf("ActiveIntervals(2) = %v, want nil", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := buildSample(t)
+	doubled := c.Scaled(func(Cell) float64 { return 2 })
+	if doubled.TotalScore() != 2*c.TotalScore() {
+		t.Errorf("Scaled total = %v, want %v", doubled.TotalScore(), 2*c.TotalScore())
+	}
+	// Zero weight drops cells.
+	dropped := c.Scaled(func(cell Cell) float64 {
+		if cell.T == 1 {
+			return 0
+		}
+		return 1
+	})
+	if dropped.NNZ() != 3 {
+		t.Errorf("Scaled with dropping NNZ = %d, want 3", dropped.NNZ())
+	}
+	// Original untouched.
+	if c.NNZ() != 5 {
+		t.Error("Scaled mutated the source cuboid")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	c := buildSample(t)
+	onlyT0 := c.Subset(func(cell Cell) bool { return cell.T == 0 })
+	if onlyT0.NNZ() != 3 {
+		t.Errorf("Subset NNZ = %d, want 3", onlyT0.NNZ())
+	}
+	if onlyT0.NumIntervals() != c.NumIntervals() {
+		t.Error("Subset changed dimensions")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildSample(t)
+	s := ComputeStats(c)
+	if s.RatedUsers != 2 {
+		t.Errorf("RatedUsers = %d, want 2", s.RatedUsers)
+	}
+	if s.RatedItems != 4 {
+		t.Errorf("RatedItems = %d, want 4", s.RatedItems)
+	}
+	if s.ItemUsers[0] != 2 { // item 0 rated by users 0 and 1
+		t.Errorf("ItemUsers[0] = %d, want 2", s.ItemUsers[0])
+	}
+	if s.IntervalUsers[0] != 2 || s.IntervalUsers[1] != 2 {
+		t.Errorf("IntervalUsers = %v, want [2 2]", s.IntervalUsers)
+	}
+	if s.TotalScore != 9 {
+		t.Errorf("TotalScore = %v, want 9", s.TotalScore)
+	}
+}
+
+func TestItemIntervalUsers(t *testing.T) {
+	c := buildSample(t)
+	iu := ItemIntervalUsers(c)
+	if iu[0][0] != 2 {
+		t.Errorf("Nt(v=0,t=0) = %d, want 2", iu[0][0])
+	}
+	if iu[1][2] != 1 {
+		t.Errorf("Nt(v=2,t=1) = %d, want 1", iu[1][2])
+	}
+	if _, ok := iu[1][0]; ok {
+		t.Error("Nt(v=0,t=1) present, want absent")
+	}
+}
+
+func TestItemFrequencySeries(t *testing.T) {
+	c := buildSample(t)
+	series := ItemFrequencySeries(c, 0)
+	if series[0] != 2 || series[1] != 0 {
+		t.Errorf("series = %v, want [2 0]", series)
+	}
+	norm := NormalizeSeries(series)
+	if norm[0] != 1 {
+		t.Errorf("normalized peak = %v, want 1", norm[0])
+	}
+	zero := NormalizeSeries([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("zero series normalized = %v, want zeros", zero)
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	c := buildSample(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumUsers() != c.NumUsers() || got.NumIntervals() != c.NumIntervals() || got.NumItems() != c.NumItems() {
+		t.Fatal("roundtrip changed dimensions")
+	}
+	if !reflect.DeepEqual(got.Cells(), c.Cells()) {
+		t.Error("roundtrip changed cells")
+	}
+	if len(got.UserCells(1)) != len(c.UserCells(1)) {
+		t.Error("roundtrip lost posting lists")
+	}
+}
+
+func TestReadRejectsCorruptCells(t *testing.T) {
+	// Hand-craft a wire struct with an out-of-range cell via a legal
+	// cuboid then larger dims... simplest: encode wire directly.
+	c := buildSample(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream must error.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("Read accepted a truncated stream")
+	}
+}
+
+// Property: for random rating sets, Build is idempotent under
+// re-insertion order (sorting + merging makes it canonical) and
+// roundtrips through serialization.
+func TestBuildCanonicalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nu, nt, nv = 5, 4, 6
+		type key struct{ u, t, v int }
+		n := r.Intn(40) + 1
+		ratings := make([]key, n)
+		for i := range ratings {
+			ratings[i] = key{r.Intn(nu), r.Intn(nt), r.Intn(nv)}
+		}
+		b1 := NewBuilder(nu, nt, nv)
+		for _, k := range ratings {
+			b1.MustAdd(k.u, k.t, k.v, 1)
+		}
+		// Shuffled insertion order.
+		b2 := NewBuilder(nu, nt, nv)
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			k := ratings[i]
+			b2.MustAdd(k.u, k.t, k.v, 1)
+		}
+		c1, c2 := b1.Build(), b2.Build()
+		if !reflect.DeepEqual(c1.Cells(), c2.Cells()) {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := c1.Write(&buf); err != nil {
+			return false
+		}
+		c3, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(c1.Cells(), c3.Cells())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: posting lists partition the cell set — every cell index
+// appears exactly once across users and exactly once across intervals.
+func TestPostingPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuilder(6, 5, 7)
+		for i := 0; i < 60; i++ {
+			b.MustAdd(r.Intn(6), r.Intn(5), r.Intn(7), 1+r.Float64())
+		}
+		c := b.Build()
+		seenU := make([]bool, c.NNZ())
+		for u := 0; u < c.NumUsers(); u++ {
+			for _, ci := range c.UserCells(u) {
+				if seenU[ci] || int(c.Cells()[ci].U) != u {
+					return false
+				}
+				seenU[ci] = true
+			}
+		}
+		seenT := make([]bool, c.NNZ())
+		for tt := 0; tt < c.NumIntervals(); tt++ {
+			for _, ci := range c.IntervalCells(tt) {
+				if seenT[ci] || int(c.Cells()[ci].T) != tt {
+					return false
+				}
+				seenT[ci] = true
+			}
+		}
+		for i := 0; i < c.NNZ(); i++ {
+			if !seenU[i] || !seenT[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

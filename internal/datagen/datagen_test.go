@@ -1,0 +1,246 @@
+package datagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/stats"
+)
+
+// tinyConfig returns a fast configuration for unit tests.
+func tinyConfig(p Profile) Config {
+	cfg := DefaultConfig(p)
+	cfg.NumUsers = 60
+	cfg.NumItems = 120
+	cfg.NumDays = 30
+	cfg.Genres = 4
+	cfg.Events = 5
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := tinyConfig(Digg)
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.Log.NumEvents() != b.Log.NumEvents() {
+		t.Fatalf("same seed produced %d vs %d events", a.Log.NumEvents(), b.Log.NumEvents())
+	}
+	for i, ea := range a.Log.Events() {
+		eb := b.Log.Events()[i]
+		if ea != eb {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	cfg.Seed = 2
+	c := MustGenerate(cfg)
+	if c.Log.NumEvents() == a.Log.NumEvents() {
+		// Event counts could coincide; compare a prefix of events too.
+		same := true
+		for i := 0; i < 10 && i < a.Log.NumEvents(); i++ {
+			if a.Log.Events()[i] != c.Log.Events()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical logs")
+		}
+	}
+}
+
+func TestGenerateProfiles(t *testing.T) {
+	for _, p := range []Profile{Digg, MovieLens, Douban, Delicious} {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := tinyConfig(p)
+			w := MustGenerate(cfg)
+			if w.Log.NumEvents() == 0 {
+				t.Fatal("no events generated")
+			}
+			if w.Log.NumItems() != cfg.NumItems {
+				t.Fatalf("interned %d items, want %d", w.Log.NumItems(), cfg.NumItems)
+			}
+			if w.Log.NumUsers() != cfg.NumUsers {
+				t.Fatalf("interned %d users, want %d", w.Log.NumUsers(), cfg.NumUsers)
+			}
+			for _, e := range w.Log.Events() {
+				if e.Time < 0 || e.Time >= int64(cfg.NumDays) {
+					t.Fatalf("event time %d outside [0,%d)", e.Time, cfg.NumDays)
+				}
+				if cfg.Stars {
+					if e.Score < 1 || e.Score > 5 {
+						t.Fatalf("star score %v outside [1,5]", e.Score)
+					}
+				} else if e.Score != 1 {
+					t.Fatalf("implicit score %v, want 1", e.Score)
+				}
+			}
+		})
+	}
+}
+
+func TestGroundTruthConsistency(t *testing.T) {
+	w := MustGenerate(tinyConfig(Delicious))
+	truth, cfg := w.Truth, w.Config
+	for v := 0; v < cfg.NumItems; v++ {
+		if truth.GenericPopular[v] {
+			if truth.Bursty[v] {
+				t.Errorf("item %d both generic and bursty", v)
+			}
+			continue
+		}
+		if truth.EventCluster[v] >= 0 && !truth.Bursty[v] {
+			t.Errorf("item %d in event cluster but not bursty", v)
+		}
+		if truth.EventCluster[v] < 0 && truth.Genre[v] < 0 {
+			t.Errorf("item %d owned by nothing", v)
+		}
+		if truth.ReleaseDay[v] < 0 || truth.ReleaseDay[v] >= cfg.NumDays {
+			t.Errorf("item %d release day %d outside range", v, truth.ReleaseDay[v])
+		}
+	}
+	for u := 0; u < cfg.NumUsers; u++ {
+		if truth.Lambda[u] <= 0 || truth.Lambda[u] >= 1 {
+			t.Errorf("lambda[%d] = %v outside (0,1)", u, truth.Lambda[u])
+		}
+		if math.Abs(truth.UserInterest[u].Sum()-1) > 1e-9 {
+			t.Errorf("user %d interest sums to %v", u, truth.UserInterest[u].Sum())
+		}
+	}
+	for x, peak := range truth.PeakDay {
+		if peak < 0 || peak >= cfg.NumDays {
+			t.Errorf("event %d peak day %d outside range", x, peak)
+		}
+	}
+}
+
+func TestItemNamesEncodeTruth(t *testing.T) {
+	w := MustGenerate(tinyConfig(Digg))
+	for v := 0; v < w.Config.NumItems; v++ {
+		name := w.Log.ItemID(v)
+		switch {
+		case w.Truth.GenericPopular[v]:
+			if !strings.Contains(name, "generic") {
+				t.Errorf("generic item named %q", name)
+			}
+		case w.Truth.EventCluster[v] >= 0:
+			if !strings.Contains(name, "-e") {
+				t.Errorf("event item named %q", name)
+			}
+		default:
+			if !strings.Contains(name, "-g") {
+				t.Errorf("stable item named %q", name)
+			}
+		}
+	}
+}
+
+func TestLambdaMeansDifferByProfile(t *testing.T) {
+	digg := MustGenerate(tinyConfig(Digg))
+	ml := MustGenerate(tinyConfig(MovieLens))
+	if stats.Mean(digg.Truth.Lambda) >= stats.Mean(ml.Truth.Lambda) {
+		t.Errorf("mean lambda Digg %v should be below MovieLens %v",
+			stats.Mean(digg.Truth.Lambda), stats.Mean(ml.Truth.Lambda))
+	}
+}
+
+// Event items must actually be temporally concentrated around their
+// cluster's peak, and stable items must not — the structural property
+// Figures 2 and 5 rely on.
+func TestBurstyItemsConcentrateNearPeak(t *testing.T) {
+	cfg := tinyConfig(Digg)
+	cfg.NumUsers = 300 // denser log for stable per-item series
+	w := MustGenerate(cfg)
+	c, _, err := w.Log.Grid(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cuboid.ComputeStats(c)
+	nearPeakMass := func(v int, peak int, radius int) float64 {
+		series := cuboid.ItemFrequencySeries(c, v)
+		var near, total float64
+		for d, x := range series {
+			total += x
+			if d >= peak-radius && d <= peak+radius {
+				near += x
+			}
+		}
+		if total == 0 {
+			return -1
+		}
+		return near / total
+	}
+	var burstyShare, stableShare []float64
+	for v := 0; v < cfg.NumItems; v++ {
+		if st.ItemUsers[v] < 5 {
+			continue
+		}
+		if x := w.Truth.EventCluster[v]; x >= 0 {
+			if s := nearPeakMass(v, w.Truth.PeakDay[x], int(3*cfg.BurstWidthDays)); s >= 0 {
+				burstyShare = append(burstyShare, s)
+			}
+		} else if !w.Truth.GenericPopular[v] {
+			// Compare against mass near the middle of the timeline with
+			// the same radius.
+			if s := nearPeakMass(v, cfg.NumDays/2, int(3*cfg.BurstWidthDays)); s >= 0 {
+				stableShare = append(stableShare, s)
+			}
+		}
+	}
+	if len(burstyShare) < 10 || len(stableShare) < 5 {
+		t.Fatalf("too few measurable items: %d bursty, %d stable", len(burstyShare), len(stableShare))
+	}
+	// The ±3σ window spans a large share of the tiny test timeline, so
+	// stable items accrue sizable incidental mass; require a clear gap
+	// rather than a fixed multiple.
+	if stats.Mean(burstyShare) < 1.25*stats.Mean(stableShare) {
+		t.Errorf("bursty concentration %v not clearly above stable %v",
+			stats.Mean(burstyShare), stats.Mean(stableShare))
+	}
+	if stats.Mean(burstyShare) < 0.7 {
+		t.Errorf("bursty items only place %v of mass near their peak", stats.Mean(burstyShare))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		cfg := DefaultConfig(Digg)
+		f(&cfg)
+		return cfg
+	}
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero users", mod(func(c *Config) { c.NumUsers = 0 })},
+		{"zero genres", mod(func(c *Config) { c.Genres = 0 })},
+		{"lambda 1", mod(func(c *Config) { c.MeanLambda = 1 })},
+		{"neg conc", mod(func(c *Config) { c.LambdaConc = 0 })},
+		{"event frac", mod(func(c *Config) { c.EventItemFrac = 1.5 })},
+		{"active prob", mod(func(c *Config) { c.ActiveDayProb = 0 })},
+		{"rate", mod(func(c *Config) { c.EventsPerActiveDay = 0 })},
+		{"noise", mod(func(c *Config) { c.NoiseFrac = 1 })},
+		{"alpha", mod(func(c *Config) { c.InterestAlpha = 0 })},
+		{"burst width", mod(func(c *Config) { c.BurstWidthDays = 0 })},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(tt.cfg); err == nil {
+				t.Error("Generate accepted an invalid config")
+			}
+		})
+	}
+	if err := DefaultConfig(Digg).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	want := map[Profile]string{Digg: "Digg", MovieLens: "MovieLens", Douban: "Douban Movie", Delicious: "Delicious", Profile(99): "unknown"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Profile(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

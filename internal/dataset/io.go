@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// jsonlRecord is the on-disk JSONL representation of one interaction,
+// with string identifiers so logs are self-describing.
+type jsonlRecord struct {
+	User  string  `json:"user"`
+	Item  string  `json:"item"`
+	Time  int64   `json:"time"`
+	Score float64 `json:"score"`
+}
+
+// WriteJSONL streams the log to w as one JSON object per line.
+func (d *Interactions) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range d.events {
+		rec := jsonlRecord{User: d.userIDs[e.User], Item: d.itemIDs[e.Item], Time: e.Time, Score: e.Score}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("dataset: write jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a log produced by WriteJSONL (or any conforming JSONL
+// stream). Malformed lines abort with an error naming the line number.
+func ReadJSONL(r io.Reader) (*Interactions, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("dataset: jsonl line %d: %w", line, err)
+		}
+		if rec.User == "" || rec.Item == "" {
+			return nil, fmt.Errorf("dataset: jsonl line %d: empty user or item", line)
+		}
+		if err := d.Add(rec.User, rec.Item, rec.Time, rec.Score); err != nil {
+			return nil, fmt.Errorf("dataset: jsonl line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read jsonl: %w", err)
+	}
+	return d, nil
+}
+
+// WriteCSV streams the log to w as "user,item,time,score" rows with a
+// header.
+func (d *Interactions) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "item", "time", "score"}); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	for _, e := range d.events {
+		row := []string{
+			d.userIDs[e.User],
+			d.itemIDs[e.Item],
+			strconv.FormatInt(e.Time, 10),
+			strconv.FormatFloat(e.Score, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a log produced by WriteCSV. The header row is required.
+func ReadCSV(r io.Reader) (*Interactions, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	if header[0] != "user" || header[1] != "item" || header[2] != "time" || header[3] != "score" {
+		return nil, fmt.Errorf("dataset: unexpected csv header %v", header)
+	}
+	d := New()
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		t, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv time %q: %w", row[2], err)
+		}
+		score, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv score %q: %w", row[3], err)
+		}
+		if err := d.Add(row[0], row[1], t, score); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SaveJSONLFile writes the log to path, creating or truncating it.
+func (d *Interactions) SaveJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONLFile reads a log from path.
+func LoadJSONLFile(path string) (*Interactions, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

@@ -1,0 +1,307 @@
+// Package distem demonstrates the paper's Section 3.2.3 scalability
+// claim: "EM algorithms can be easily expressed in MapReduce, so the
+// inference procedure of TCAM can be naturally decomposed for parallel
+// processing". It implements TTCAM training as explicit MapReduce
+// rounds — user-sharded mappers that emit partial sufficient statistics
+// against broadcast parameters, a reducer that merges them, and a
+// coordinator M-step — and is verified (in tests) to reproduce the
+// in-process trainer's parameters to floating-point tolerance.
+//
+// The package is deliberately structured like a distributed job even
+// though it runs in one process: mappers only see their shard's cells
+// plus the broadcast Params, communicate nothing but SufficientStats,
+// and could be moved across machine boundaries behind an encoder
+// without touching the math.
+package distem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// lambdaClamp matches the in-process trainer's bound.
+const lambdaClamp = 0.01
+
+// Config parameterizes a distributed TTCAM training job. It mirrors
+// ttcam.Config; Shards is the number of mappers.
+type Config struct {
+	K1, K2    int
+	MaxIters  int
+	Seed      int64
+	Smoothing float64
+	Shards    int
+}
+
+// DefaultConfig returns a 4-shard job with the usual EM settings.
+func DefaultConfig() Config {
+	return Config{K1: 60, K2: 40, MaxIters: 50, Seed: 1, Smoothing: 1e-9, Shards: 4}
+}
+
+// Params is the broadcast state of a round: the full TTCAM parameter
+// set. In a real deployment this is what the coordinator ships to every
+// mapper at the start of a round.
+type Params struct {
+	NumUsers, NumIntervals, NumItems int
+	K1, K2                           int
+
+	Theta   []float64 // N×K1
+	Phi     []float64 // K1×V
+	ThetaTx []float64 // T×K2
+	PhiX    []float64 // K2×V
+	Lambda  []float64 // N
+}
+
+// SufficientStats is a mapper's output: the partial E-step numerators
+// for its user shard. Reduce merges them by element-wise addition.
+type SufficientStats struct {
+	Theta   []float64
+	Phi     []float64
+	ThetaTx []float64
+	PhiX    []float64
+	LamNum  []float64
+	LamDen  []float64
+	LogL    float64
+}
+
+func newStats(p *Params) *SufficientStats {
+	return &SufficientStats{
+		Theta:   make([]float64, len(p.Theta)),
+		Phi:     make([]float64, len(p.Phi)),
+		ThetaTx: make([]float64, len(p.ThetaTx)),
+		PhiX:    make([]float64, len(p.PhiX)),
+		LamNum:  make([]float64, len(p.Lambda)),
+		LamDen:  make([]float64, len(p.Lambda)),
+	}
+}
+
+// Shard is one mapper's slice of the data: a contiguous user range and
+// the cells belonging to it.
+type Shard struct {
+	UserLo, UserHi int // [lo, hi)
+	Cells          []cuboid.Cell
+}
+
+// Partition splits the cuboid into contiguous user-range shards. Cells
+// inside a shard keep their global (U, T, V) coordinates.
+func Partition(c *cuboid.Cuboid, shards int) []Shard {
+	if shards < 1 {
+		shards = 1
+	}
+	n := c.NumUsers()
+	if shards > n {
+		shards = n
+	}
+	out := make([]Shard, 0, shards)
+	chunk := (n + shards - 1) / shards
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sh := Shard{UserLo: lo, UserHi: hi}
+		for u := lo; u < hi; u++ {
+			for _, ci := range c.UserCells(u) {
+				sh.Cells = append(sh.Cells, c.Cells()[ci])
+			}
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+// MapShard runs the E-step over one shard against the broadcast params
+// — Equations (4), (5) and (13) — and returns the shard's partial
+// sufficient statistics (numerators of Equations (8)–(9), (11),
+// (15)–(16)).
+func MapShard(sh Shard, p *Params) *SufficientStats {
+	out := newStats(p)
+	k1, k2, V := p.K1, p.K2, p.NumItems
+	pz := make([]float64, k1)
+	px := make([]float64, k2)
+	for _, cell := range sh.Cells {
+		u, t, v, w := int(cell.U), int(cell.T), int(cell.V), cell.Score
+		lam := p.Lambda[u]
+		thetaRow := p.Theta[u*k1 : (u+1)*k1]
+		var pu float64
+		for z := 0; z < k1; z++ {
+			q := thetaRow[z] * p.Phi[z*V+v]
+			pz[z] = q
+			pu += q
+		}
+		ctxRow := p.ThetaTx[t*k2 : (t+1)*k2]
+		var pt float64
+		for x := 0; x < k2; x++ {
+			q := ctxRow[x] * p.PhiX[x*V+v]
+			px[x] = q
+			pt += q
+		}
+		denom := lam*pu + (1-lam)*pt
+		if denom <= 0 {
+			denom = 1e-300
+		}
+		out.LogL += w * math.Log(denom)
+		ps1 := lam * pu / denom
+		ps0 := 1 - ps1
+		if pu > 0 && ps1 > 0 {
+			scale := w * ps1 / pu
+			for z := 0; z < k1; z++ {
+				c := scale * pz[z]
+				out.Theta[u*k1+z] += c
+				out.Phi[z*V+v] += c
+			}
+		}
+		if pt > 0 && ps0 > 0 {
+			scale := w * ps0 / pt
+			for x := 0; x < k2; x++ {
+				c := scale * px[x]
+				out.ThetaTx[t*k2+x] += c
+				out.PhiX[x*V+v] += c
+			}
+		}
+		out.LamNum[u] += w * ps1
+		out.LamDen[u] += w
+	}
+	return out
+}
+
+// Reduce merges partial statistics in shard order (deterministic
+// summation order, so runs are reproducible for a fixed shard count).
+func Reduce(parts []*SufficientStats) (*SufficientStats, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("distem: nothing to reduce")
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		addInto(out.Theta, p.Theta)
+		addInto(out.Phi, p.Phi)
+		addInto(out.ThetaTx, p.ThetaTx)
+		addInto(out.PhiX, p.PhiX)
+		addInto(out.LamNum, p.LamNum)
+		addInto(out.LamDen, p.LamDen)
+		out.LogL += p.LogL
+	}
+	return out, nil
+}
+
+func addInto(dst, src []float64) {
+	for i, x := range src {
+		dst[i] += x
+	}
+}
+
+// MStep turns reduced statistics into the next round's parameters —
+// the coordinator side of Equations (8)–(11), (15)–(16).
+func MStep(p *Params, s *SufficientStats, smoothing float64) {
+	copy(p.Theta, s.Theta)
+	model.NormalizeRows(p.Theta, p.K1, smoothing)
+	copy(p.Phi, s.Phi)
+	model.NormalizeRows(p.Phi, p.NumItems, smoothing)
+	copy(p.ThetaTx, s.ThetaTx)
+	model.NormalizeRows(p.ThetaTx, p.K2, smoothing)
+	copy(p.PhiX, s.PhiX)
+	model.NormalizeRows(p.PhiX, p.NumItems, smoothing)
+	for u := range p.Lambda {
+		if s.LamDen[u] > 0 {
+			l := s.LamNum[u] / s.LamDen[u]
+			if l < lambdaClamp {
+				l = lambdaClamp
+			}
+			if l > 1-lambdaClamp {
+				l = 1 - lambdaClamp
+			}
+			p.Lambda[u] = l
+		}
+	}
+}
+
+// InitParams builds the round-zero broadcast parameters with the same
+// jittered-uniform initialization (and RNG draw order) as the
+// in-process trainer, so both converge to identical parameters.
+func InitParams(c *cuboid.Cuboid, cfg Config) *Params {
+	p := &Params{
+		NumUsers:     c.NumUsers(),
+		NumIntervals: c.NumIntervals(),
+		NumItems:     c.NumItems(),
+		K1:           cfg.K1,
+		K2:           cfg.K2,
+		Theta:        make([]float64, c.NumUsers()*cfg.K1),
+		Phi:          make([]float64, cfg.K1*c.NumItems()),
+		ThetaTx:      make([]float64, c.NumIntervals()*cfg.K2),
+		PhiX:         make([]float64, cfg.K2*c.NumItems()),
+		Lambda:       make([]float64, c.NumUsers()),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitter := func(data []float64, cols int) {
+		for i := range data {
+			data[i] = 1 + 0.5*rng.Float64()
+		}
+		model.NormalizeRows(data, cols, 0)
+	}
+	jitter(p.Theta, cfg.K1)
+	jitter(p.Phi, c.NumItems())
+	jitter(p.ThetaTx, cfg.K2)
+	jitter(p.PhiX, c.NumItems())
+	for u := range p.Lambda {
+		p.Lambda[u] = 0.5
+	}
+	return p
+}
+
+// Train runs the full MapReduce EM job: Partition once, then
+// MaxIters rounds of broadcast → map (mappers run concurrently) →
+// reduce → M-step. It returns the final parameters and the per-round
+// log-likelihood trace.
+func Train(c *cuboid.Cuboid, cfg Config) (*Params, model.TrainStats, error) {
+	var stats model.TrainStats
+	if cfg.K1 <= 0 || cfg.K2 <= 0 || cfg.MaxIters <= 0 {
+		return nil, stats, fmt.Errorf("distem: invalid config K1=%d K2=%d iters=%d", cfg.K1, cfg.K2, cfg.MaxIters)
+	}
+	if c.NNZ() == 0 {
+		return nil, stats, errors.New("distem: empty training cuboid")
+	}
+	shards := Partition(c, cfg.Shards)
+	p := InitParams(c, cfg)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		parts := make([]*SufficientStats, len(shards))
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				parts[i] = MapShard(shards[i], p)
+			}(i)
+		}
+		wg.Wait()
+		merged, err := Reduce(parts)
+		if err != nil {
+			return nil, stats, err
+		}
+		MStep(p, merged, cfg.Smoothing)
+		stats.LogLikelihood = append(stats.LogLikelihood, merged.LogL)
+	}
+	return p, stats, nil
+}
+
+// Score evaluates the TTCAM likelihood under the trained parameters
+// (Equations 1 and 12), so distributed results can be compared against
+// the in-process model's ranking directly.
+func (p *Params) Score(u, t, v int) float64 {
+	var pu float64
+	thetaRow := p.Theta[u*p.K1 : (u+1)*p.K1]
+	for z := 0; z < p.K1; z++ {
+		pu += thetaRow[z] * p.Phi[z*p.NumItems+v]
+	}
+	var pt float64
+	ctxRow := p.ThetaTx[t*p.K2 : (t+1)*p.K2]
+	for x := 0; x < p.K2; x++ {
+		pt += ctxRow[x] * p.PhiX[x*p.NumItems+v]
+	}
+	lam := p.Lambda[u]
+	return lam*pu + (1-lam)*pt
+}

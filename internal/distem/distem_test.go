@@ -1,0 +1,161 @@
+package distem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model/ttcam"
+)
+
+func world(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(21))
+	b := cuboid.NewBuilder(25, 5, 30)
+	for u := 0; u < 25; u++ {
+		for t := 0; t < 5; t++ {
+			b.MustAdd(u, t, (u+t*3)%30, 1)
+			if rng.Float64() < 0.6 {
+				b.MustAdd(u, t, rng.Intn(30), 1+rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestPartitionCoversAllCells(t *testing.T) {
+	c := world(t)
+	for _, shards := range []int{1, 3, 7, 100} {
+		parts := Partition(c, shards)
+		total := 0
+		lastHi := 0
+		for _, sh := range parts {
+			if sh.UserLo != lastHi {
+				t.Fatalf("shards=%d: gap at user %d", shards, lastHi)
+			}
+			lastHi = sh.UserHi
+			total += len(sh.Cells)
+			for _, cell := range sh.Cells {
+				if int(cell.U) < sh.UserLo || int(cell.U) >= sh.UserHi {
+					t.Fatalf("cell for user %d in shard [%d,%d)", cell.U, sh.UserLo, sh.UserHi)
+				}
+			}
+		}
+		if lastHi != c.NumUsers() {
+			t.Fatalf("shards=%d: users uncovered after %d", shards, lastHi)
+		}
+		if total != c.NNZ() {
+			t.Fatalf("shards=%d: %d cells partitioned, want %d", shards, total, c.NNZ())
+		}
+	}
+}
+
+// The headline claim of Section 3.2.3: the MapReduce decomposition
+// produces the same model as the in-process trainer.
+func TestMatchesInProcessTrainer(t *testing.T) {
+	c := world(t)
+	dcfg := DefaultConfig()
+	dcfg.K1, dcfg.K2, dcfg.MaxIters, dcfg.Shards = 6, 4, 12, 5
+	params, dstats, err := Train(c, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcfg := ttcam.DefaultConfig()
+	tcfg.K1, tcfg.K2, tcfg.MaxIters = 6, 4, 12
+	tcfg.Tol = 0 // run all iterations, like the MapReduce job
+	tcfg.Workers = 1
+	m, tstats, err := ttcam.Train(c, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dstats.Iterations() != tstats.Iterations() {
+		t.Fatalf("iteration counts differ: %d vs %d", dstats.Iterations(), tstats.Iterations())
+	}
+	for i := range dstats.LogLikelihood {
+		if math.Abs(dstats.LogLikelihood[i]-tstats.LogLikelihood[i]) > 1e-6 {
+			t.Fatalf("round %d LL differs: %v vs %v", i, dstats.LogLikelihood[i], tstats.LogLikelihood[i])
+		}
+	}
+	for u := 0; u < c.NumUsers(); u++ {
+		if math.Abs(params.Lambda[u]-m.Lambda(u)) > 1e-9 {
+			t.Fatalf("lambda[%d] differs: %v vs %v", u, params.Lambda[u], m.Lambda(u))
+		}
+	}
+	// Rankings must agree: compare scores on a probe grid.
+	for u := 0; u < c.NumUsers(); u += 4 {
+		for tt := 0; tt < c.NumIntervals(); tt++ {
+			for v := 0; v < c.NumItems(); v += 7 {
+				a, b := params.Score(u, tt, v), m.Score(u, tt, v)
+				if math.Abs(a-b) > 1e-9 {
+					t.Fatalf("score(%d,%d,%d) differs: %v vs %v", u, tt, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestShardCountInvariance(t *testing.T) {
+	c := world(t)
+	base := DefaultConfig()
+	base.K1, base.K2, base.MaxIters = 5, 3, 8
+	var ref *Params
+	for _, shards := range []int{1, 2, 6} {
+		cfg := base
+		cfg.Shards = shards
+		p, _, err := Train(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = p
+			continue
+		}
+		for i := range p.Phi {
+			if math.Abs(p.Phi[i]-ref.Phi[i]) > 1e-9 {
+				t.Fatalf("shards=%d: phi[%d] differs from single-shard run", shards, i)
+			}
+		}
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	c := world(t)
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2, cfg.MaxIters = 5, 3, 15
+	_, st, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < st.Iterations(); i++ {
+		if st.LogLikelihood[i] < st.LogLikelihood[i-1]-math.Abs(st.LogLikelihood[i-1])*1e-8 {
+			t.Fatalf("LL decreased at round %d", i)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	c := world(t)
+	bad := []Config{
+		{K1: 0, K2: 3, MaxIters: 5, Shards: 2},
+		{K1: 3, K2: 0, MaxIters: 5, Shards: 2},
+		{K1: 3, K2: 3, MaxIters: 0, Shards: 2},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Train(c, cfg); err == nil {
+			t.Errorf("case %d: Train accepted invalid config", i)
+		}
+	}
+	empty := cuboid.NewBuilder(2, 2, 2).Build()
+	if _, _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Error("Train accepted empty cuboid")
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	if _, err := Reduce(nil); err == nil {
+		t.Error("Reduce accepted empty input")
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tcam/internal/core"
+	"tcam/internal/datagen"
+	"tcam/internal/eval"
+)
+
+// AccuracyResult is the payload of Figures 6 and 7: one metric curve
+// (k = 1..MaxK) per method on one dataset.
+type AccuracyResult struct {
+	Dataset string
+	MaxK    int
+	Curves  map[string]eval.Curve
+}
+
+// Figure6 reproduces "Temporal Accuracy on Digg" — Precision@k, NDCG@k
+// and F1@k for k=1..10 across all eight methods on the Digg-like
+// (time-sensitive) world.
+func (r *Runner) Figure6() (*AccuracyResult, error) {
+	return r.accuracyOn(datagen.Digg, core.AllMethods())
+}
+
+// Figure7 reproduces "Temporal Accuracy on MovieLens" on the
+// interest-driven world.
+func (r *Runner) Figure7() (*AccuracyResult, error) {
+	return r.accuracyOn(datagen.MovieLens, core.AllMethods())
+}
+
+func (r *Runner) accuracyOn(p datagen.Profile, methods []core.Method) (*AccuracyResult, error) {
+	const maxK = 10
+	data, _ := r.gridWorld(p)
+	split, queries := r.splitQueries(data)
+	out := &AccuracyResult{Dataset: p.String(), MaxK: maxK, Curves: make(map[string]eval.Curve)}
+	for _, m := range methods {
+		res, err := core.Train(m, split.Train, r.trainOpts())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", m, p, err)
+		}
+		out.Curves[string(m)] = eval.Evaluate(eval.BruteForceRanker(res.Model), queries, maxK, r.cfg.Workers)
+	}
+	return out, nil
+}
+
+// Render prints the result as three paper-style blocks (one per
+// metric), methods as rows and k as columns.
+func (a *AccuracyResult) Render(w io.Writer) {
+	fprintf(w, "Temporal Accuracy on %s (per-(u,t) 80/20 holdout)\n", a.Dataset)
+	for _, metric := range []string{"Precision@k", "NDCG@k", "F1@k"} {
+		fprintf(w, "\n%s\n", metric)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "method")
+		for k := 1; k <= a.MaxK; k++ {
+			fmt.Fprintf(tw, "\tk=%d", k)
+		}
+		fmt.Fprintln(tw)
+		for _, name := range sortedMethods(a.Curves) {
+			fmt.Fprintf(tw, "%s", name)
+			for k := 1; k <= a.MaxK; k++ {
+				m := a.Curves[name].At(k)
+				var v float64
+				switch metric {
+				case "Precision@k":
+					v = m.Precision
+				case "NDCG@k":
+					v = m.NDCG
+				default:
+					v = m.F1
+				}
+				fmt.Fprintf(tw, "\t%.4f", v)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}
+
+// MeanNDCG returns a method's NDCG averaged over k=1..MaxK, the scalar
+// used for shape assertions.
+func (a *AccuracyResult) MeanNDCG(method string) float64 {
+	curve, ok := a.Curves[method]
+	if !ok {
+		return 0
+	}
+	var s float64
+	for k := 1; k <= a.MaxK; k++ {
+		s += curve.At(k).NDCG
+	}
+	return s / float64(a.MaxK)
+}
+
+// IntervalSweepResult is the payload of Table 3: NDCG@5 per method per
+// time-interval length on the Digg-like world.
+type IntervalSweepResult struct {
+	Dataset string
+	Lengths []int64
+	// NDCG5[method][i] corresponds to Lengths[i].
+	NDCG5 map[string][]float64
+}
+
+// Table3 reproduces "Performance of varying length of time interval on
+// Digg dataset": the temporal methods' NDCG@5 across interval lengths
+// of 1–10 days.
+func (r *Runner) Table3() (*IntervalSweepResult, error) {
+	return r.table3Lengths([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+}
+
+// table3Lengths runs the sweep on an explicit length grid (tests and
+// benches shrink it).
+func (r *Runner) table3Lengths(lengths []int64) (*IntervalSweepResult, error) {
+	methods := []core.Method{core.TT, core.ITCAM, core.TTCAM, core.WTTCAM, core.BPTF, core.WITCAM}
+	w := r.World(datagen.Digg)
+	out := &IntervalSweepResult{Dataset: w.Config.Profile.String(), Lengths: lengths, NDCG5: make(map[string][]float64)}
+	for _, length := range lengths {
+		data, _, err := w.Log.Grid(length)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 grid %d: %w", length, err)
+		}
+		split, queries := r.splitQueries(data)
+		for _, m := range methods {
+			res, err := core.Train(m, split.Train, r.trainOpts())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table3 %s @%dd: %w", m, length, err)
+			}
+			curve := eval.Evaluate(eval.BruteForceRanker(res.Model), queries, 5, r.cfg.Workers)
+			out.NDCG5[string(m)] = append(out.NDCG5[string(m)], curve.At(5).NDCG)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Table 3 layout: one row per interval length.
+func (t *IntervalSweepResult) Render(w io.Writer) {
+	fprintf(w, "NDCG@5 vs length of time interval on %s\n", t.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	methods := make([]string, 0, len(t.NDCG5))
+	for _, m := range []string{"TT", "ITCAM", "TTCAM", "W-TTCAM", "BPTF", "W-ITCAM"} {
+		if _, ok := t.NDCG5[m]; ok {
+			methods = append(methods, m)
+		}
+	}
+	fmt.Fprintf(tw, "interval")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for i, length := range t.Lengths {
+		fmt.Fprintf(tw, "%d days", length)
+		for _, m := range methods {
+			fmt.Fprintf(tw, "\t%.4f", t.NDCG5[m][i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Best returns the interval length at which a method peaks.
+func (t *IntervalSweepResult) Best(method string) int64 {
+	vals := t.NDCG5[method]
+	best, arg := -1.0, int64(0)
+	for i, v := range vals {
+		if v > best {
+			best, arg = v, t.Lengths[i]
+		}
+	}
+	return arg
+}
+
+// TopicCountResult is the payload of Figure 9: W-TTCAM NDCG@5 over a
+// (K1, K2) grid on the Digg-like world.
+type TopicCountResult struct {
+	Dataset string
+	K1s     []int
+	K2s     []int
+	// NDCG5[i][j] is the score at K2s[i] × K1s[j].
+	NDCG5 [][]float64
+}
+
+// Figure9 reproduces "Performance of varying number of topics": W-TTCAM
+// accuracy as K1 sweeps 10..100 for K2 ∈ {20, 40, 60, 80}.
+func (r *Runner) Figure9() (*TopicCountResult, error) {
+	return r.figure9Grid([]int{10, 20, 40, 60, 80, 100}, []int{20, 40, 60, 80})
+}
+
+// figure9Grid runs the sweep on explicit K1/K2 grids (benches shrink
+// them).
+func (r *Runner) figure9Grid(k1s, k2s []int) (*TopicCountResult, error) {
+	data, _ := r.gridWorld(datagen.Digg)
+	split, queries := r.splitQueries(data)
+	out := &TopicCountResult{Dataset: datagen.Digg.String(), K1s: k1s, K2s: k2s}
+	for _, k2 := range k2s {
+		row := make([]float64, 0, len(k1s))
+		for _, k1 := range k1s {
+			opts := r.trainOpts()
+			opts.K1, opts.K2 = k1, k2
+			res, err := core.Train(core.WTTCAM, split.Train, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure9 K1=%d K2=%d: %w", k1, k2, err)
+			}
+			curve := eval.Evaluate(eval.BruteForceRanker(res.Model), queries, 5, r.cfg.Workers)
+			row = append(row, curve.At(5).NDCG)
+		}
+		out.NDCG5 = append(out.NDCG5, row)
+	}
+	return out, nil
+}
+
+// Render prints the Figure 9 series: one row per K2.
+func (f *TopicCountResult) Render(w io.Writer) {
+	fprintf(w, "W-TTCAM NDCG@5 vs number of user-oriented topics (K1) on %s\n", f.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "K2 \\ K1")
+	for _, k1 := range f.K1s {
+		fmt.Fprintf(tw, "\t%d", k1)
+	}
+	fmt.Fprintln(tw)
+	for i, k2 := range f.K2s {
+		fmt.Fprintf(tw, "W-TTCAM-%d", k2)
+		for j := range f.K1s {
+			fmt.Fprintf(tw, "\t%.4f", f.NDCG5[i][j])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment names one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner, w io.Writer) error
+}
+
+// All returns every experiment in paper order. Each entry runs its
+// driver and renders the paper-style output to w.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "Table 2 — basic statistics of the four data sets", func(r *Runner, w io.Writer) error {
+			r.Table2().Render(w)
+			return nil
+		}},
+		{"figure2", "Figure 2 — two types of topics (Delicious)", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure2()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure5", "Figure 5 — bursty vs popular tags (Delicious)", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure5()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure6", "Figure 6 — temporal accuracy on Digg", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure6()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure7", "Figure 7 — temporal accuracy on MovieLens", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure7()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"table3", "Table 3 — NDCG@5 vs time-interval length (Digg)", func(r *Runner, w io.Writer) error {
+			res, err := r.Table3()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure9", "Figure 9 — accuracy vs number of topics (Digg)", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure9()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure8", "Figure 8 — online recommendation efficiency", func(r *Runner, w io.Writer) error {
+			results, err := r.Figure8()
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				res.Render(w)
+				fprintf(w, "\n")
+			}
+			return nil
+		}},
+		{"table4", "Table 4 — offline training time", func(r *Runner, w io.Writer) error {
+			res, err := r.Table4()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure10", "Figure 10 — temporal context influence (MovieLens)", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure10()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"figure11", "Figure 11 — temporal context influence (Digg)", func(r *Runner, w io.Writer) error {
+			res, err := r.Figure11()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"table5", "Table 5 — time-oriented topic quality (Delicious)", func(r *Runner, w io.Writer) error {
+			res, err := r.Table5()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"table6", "Table 6 — time-oriented topic quality (Douban Movie)", func(r *Runner, w io.Writer) error {
+			res, err := r.Table6()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+		{"table7", "Table 7 — user- vs time-oriented topic separation (Douban Movie)", func(r *Runner, w io.Writer) error {
+			res, err := r.Table7()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
+	}
+}
+
+// Find returns the experiment with the given ID, or false.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment against one Runner (so worlds are
+// generated once), writing each section to w with timing footers.
+func RunAll(r *Runner, w io.Writer) error {
+	for _, e := range All() {
+		fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(r, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fprintf(w, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

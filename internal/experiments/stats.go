@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/datagen"
+)
+
+// DatasetStatsRow is one row of Table 2.
+type DatasetStatsRow struct {
+	Name     string
+	Users    int
+	Items    int
+	Ratings  int
+	TimeSpan int // days
+}
+
+// DatasetStatsResult is the payload of Table 2: basic statistics of the
+// four synthetic worlds standing in for the paper's crawls.
+type DatasetStatsResult struct {
+	Rows []DatasetStatsRow
+}
+
+// Table2 generates (or reuses) all four worlds and reports their sizes.
+func (r *Runner) Table2() *DatasetStatsResult {
+	out := &DatasetStatsResult{}
+	for _, p := range []datagen.Profile{datagen.Digg, datagen.MovieLens, datagen.Douban, datagen.Delicious} {
+		w := r.World(p)
+		out.Rows = append(out.Rows, DatasetStatsRow{
+			Name:     p.String(),
+			Users:    w.Log.NumUsers(),
+			Items:    w.Log.NumItems(),
+			Ratings:  w.Log.NumEvents(),
+			TimeSpan: w.Config.NumDays,
+		})
+	}
+	return out
+}
+
+// Render prints the Table 2 layout.
+func (d *DatasetStatsResult) Render(w io.Writer) {
+	fprintf(w, "Basic statistics of the four synthetic data sets\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\t# users\t# items\t# ratings\ttime span (days)")
+	for _, row := range d.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", row.Name, row.Users, row.Items, row.Ratings, row.TimeSpan)
+	}
+	tw.Flush()
+}
+
+// itemSeries returns the per-interval distinct-user frequency of one
+// item, shared by the Figure 2/5 drivers.
+func itemSeries(c *cuboid.Cuboid, v int) []float64 {
+	return cuboid.ItemFrequencySeries(c, v)
+}

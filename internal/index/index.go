@@ -1,0 +1,181 @@
+// Package index packages everything an online recommender deployment
+// needs into one artifact: the trained TCAM model, the time grid that
+// maps wall-clock time onto training intervals, and the user/item
+// vocabularies. cmd/tcamtrain writes a bundle; cmd/tcamquery and
+// cmd/tcamserver load it and rebuild the Section 4.2 sorted-list index
+// (rebuilding is O(K·V·logV), far cheaper than training, so the lists
+// themselves are not serialized).
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"tcam/internal/dataset"
+	"tcam/internal/model"
+	"tcam/internal/model/itcam"
+	"tcam/internal/model/ttcam"
+	"tcam/internal/topk"
+)
+
+// Kind names the model family inside a bundle.
+type Kind string
+
+// The model kinds a bundle can carry.
+const (
+	KindITCAM Kind = "itcam"
+	KindTTCAM Kind = "ttcam"
+)
+
+// Bundle is a self-contained deployment artifact.
+type Bundle struct {
+	Kind  Kind
+	ITCAM *itcam.Model
+	TTCAM *ttcam.Model
+
+	Grid  dataset.TimeGrid
+	Users []string
+	Items []string
+}
+
+// NewTTCAM assembles a bundle around a trained TTCAM.
+func NewTTCAM(m *ttcam.Model, grid dataset.TimeGrid, users, items []string) *Bundle {
+	return &Bundle{Kind: KindTTCAM, TTCAM: m, Grid: grid, Users: users, Items: items}
+}
+
+// NewITCAM assembles a bundle around a trained ITCAM.
+func NewITCAM(m *itcam.Model, grid dataset.TimeGrid, users, items []string) *Bundle {
+	return &Bundle{Kind: KindITCAM, ITCAM: m, Grid: grid, Users: users, Items: items}
+}
+
+// Scorer returns the bundle's model behind the TopicScorer interface.
+func (b *Bundle) Scorer() model.TopicScorer {
+	switch b.Kind {
+	case KindITCAM:
+		return b.ITCAM
+	case KindTTCAM:
+		return b.TTCAM
+	default:
+		return nil
+	}
+}
+
+// BuildIndex precomputes the TA sorted lists for the bundle's model.
+func (b *Bundle) BuildIndex() *topk.Index {
+	return topk.BuildIndex(b.Scorer())
+}
+
+// Validate reports the first inconsistency between the model and the
+// bundle metadata, or nil.
+func (b *Bundle) Validate() error {
+	s := b.Scorer()
+	if s == nil {
+		return fmt.Errorf("index: bundle kind %q has no model", b.Kind)
+	}
+	if len(b.Items) != s.NumItems() {
+		return fmt.Errorf("index: %d item names for a %d-item model", len(b.Items), s.NumItems())
+	}
+	var users, intervals int
+	switch b.Kind {
+	case KindITCAM:
+		users, intervals = b.ITCAM.NumUsers(), b.ITCAM.NumIntervals()
+	case KindTTCAM:
+		users, intervals = b.TTCAM.NumUsers(), b.TTCAM.NumIntervals()
+	}
+	if len(b.Users) != users {
+		return fmt.Errorf("index: %d user names for a %d-user model", len(b.Users), users)
+	}
+	if b.Grid.Num != intervals {
+		return fmt.Errorf("index: grid has %d intervals, model %d", b.Grid.Num, intervals)
+	}
+	return nil
+}
+
+// fileWire is the single gob message holding the whole bundle. The
+// model payload is embedded as bytes: gob decoders read ahead, so two
+// decoders cannot safely share one stream.
+type fileWire struct {
+	Kind  Kind
+	Grid  dataset.TimeGrid
+	Users []string
+	Items []string
+	Model []byte
+}
+
+// Write serializes the bundle to w.
+func (b *Bundle) Write(w io.Writer) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	var err error
+	switch b.Kind {
+	case KindITCAM:
+		err = b.ITCAM.Write(&payload)
+	case KindTTCAM:
+		err = b.TTCAM.Write(&payload)
+	}
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(&fileWire{
+		Kind: b.Kind, Grid: b.Grid, Users: b.Users, Items: b.Items, Model: payload.Bytes(),
+	}); err != nil {
+		return fmt.Errorf("index: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a bundle written with Write.
+func Read(r io.Reader) (*Bundle, error) {
+	var w fileWire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	b := &Bundle{Kind: w.Kind, Grid: w.Grid, Users: w.Users, Items: w.Items}
+	var err error
+	switch w.Kind {
+	case KindITCAM:
+		b.ITCAM, err = itcam.Read(bytes.NewReader(w.Model))
+	case KindTTCAM:
+		b.TTCAM, err = ttcam.Read(bytes.NewReader(w.Model))
+	default:
+		return nil, fmt.Errorf("index: unknown bundle kind %q", w.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Save writes the bundle to path, creating or truncating it.
+func (b *Bundle) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	if err := b.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a bundle from path.
+func Load(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

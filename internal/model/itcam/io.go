@@ -1,0 +1,67 @@
+package itcam
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wire is the gob format of a trained ITCAM.
+type wire struct {
+	Label        string
+	NumUsers     int
+	NumIntervals int
+	NumItems     int
+	K1           int
+	Theta        []float64
+	Phi          []float64
+	ThetaT       []float64
+	Lambda       []float64
+}
+
+// Write serializes the trained model to w in gob format.
+func (m *Model) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(&wire{
+		Label:        m.label,
+		NumUsers:     m.numUsers,
+		NumIntervals: m.numIntervals,
+		NumItems:     m.numItems,
+		K1:           m.k1,
+		Theta:        m.theta,
+		Phi:          m.phi,
+		ThetaT:       m.thetaT,
+		Lambda:       m.lambda,
+	}); err != nil {
+		return fmt.Errorf("itcam: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a model written with Write, validating dimensions.
+func Read(r io.Reader) (*Model, error) {
+	var w wire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("itcam: decode: %w", err)
+	}
+	if w.NumUsers <= 0 || w.NumIntervals <= 0 || w.NumItems <= 0 || w.K1 <= 0 {
+		return nil, fmt.Errorf("itcam: corrupt dimensions %d/%d/%d/K1=%d", w.NumUsers, w.NumIntervals, w.NumItems, w.K1)
+	}
+	if len(w.Theta) != w.NumUsers*w.K1 || len(w.Phi) != w.K1*w.NumItems ||
+		len(w.ThetaT) != w.NumIntervals*w.NumItems || len(w.Lambda) != w.NumUsers {
+		return nil, fmt.Errorf("itcam: parameter lengths inconsistent with dimensions")
+	}
+	return &Model{
+		label:        w.Label,
+		numUsers:     w.NumUsers,
+		numIntervals: w.NumIntervals,
+		numItems:     w.NumItems,
+		k1:           w.K1,
+		theta:        w.Theta,
+		phi:          w.Phi,
+		thetaT:       w.ThetaT,
+		lambda:       w.Lambda,
+	}, nil
+}

@@ -1,0 +1,400 @@
+// Package itcam implements the item-based variant of the Temporal
+// Context-Aware Mixture model (Section 3.2.1 of the paper). The
+// likelihood of user u rating item v during interval t is
+//
+//	P(v|u,t) = λu·Σ_z P(z|θu)P(v|φz) + (1−λu)·P(v|θ't)      (Eq. 1–2)
+//
+// where the temporal context θ't is a multinomial directly over items —
+// one per interval. Parameters are learned with the EM updates of
+// Equations (4)–(11); the E-step parallelizes over users with per-worker
+// sufficient-statistic slabs, mirroring the MapReduce decomposition the
+// paper notes in Section 3.2.3.
+package itcam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// maxDenseCells guards the dense T×V temporal-context table: ITCAM
+// materializes one item distribution per interval, which is only
+// sensible for modest catalogs (the paper's Digg and MovieLens runs).
+// Beyond this size, use TTCAM.
+const maxDenseCells = 64 << 20
+
+// lambdaClamp keeps the learned mixing weights away from the degenerate
+// endpoints, where one mixture component can never recover mass.
+const lambdaClamp = 0.01
+
+// Config parameterizes ITCAM training.
+type Config struct {
+	// K1 is the number of user-oriented topics.
+	K1 int
+	// MaxIters bounds the EM iterations; Tol is the relative
+	// log-likelihood improvement below which training stops early.
+	MaxIters int
+	Tol      float64
+	// Seed drives the random initialization.
+	Seed int64
+	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	Workers int
+	// Smoothing is the additive epsilon applied when normalizing every
+	// multinomial, keeping all generation probabilities positive.
+	Smoothing float64
+	// Label overrides the model name (the weighted variant reports
+	// "W-ITCAM").
+	Label string
+	// LambdaMass optionally overrides the per-cell masses used by the
+	// mixing-weight update (Equation 11), aligned with the training
+	// cuboid's Cells() order. It exists as an ablation knob: training
+	// topics on the weighted cuboid of Equation (20) while estimating λ
+	// on the raw scores isolates the weighting scheme's effect on topic
+	// quality from its effect on mixing-weight calibration (on the
+	// synthetic worlds, Equation (20) applied verbatim — nil here —
+	// recovers the ground-truth λ distribution best).
+	LambdaMass []float64
+}
+
+// DefaultConfig returns the training configuration used by the
+// experiment harness unless a sweep overrides it.
+func DefaultConfig() Config {
+	return Config{K1: 40, MaxIters: 50, Tol: 1e-5, Seed: 1, Smoothing: 1e-9}
+}
+
+func (c Config) validate(data *cuboid.Cuboid) error {
+	if c.K1 <= 0 {
+		return fmt.Errorf("itcam: K1 must be positive, got %d", c.K1)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("itcam: MaxIters must be positive, got %d", c.MaxIters)
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("itcam: negative smoothing %v", c.Smoothing)
+	}
+	if data.NNZ() == 0 {
+		return errors.New("itcam: empty training cuboid")
+	}
+	if cells := data.NumIntervals() * data.NumItems(); cells > maxDenseCells {
+		return fmt.Errorf("itcam: dense temporal context needs %d cells (max %d); use ttcam for large catalogs", cells, maxDenseCells)
+	}
+	if c.LambdaMass != nil && len(c.LambdaMass) != data.NNZ() {
+		return fmt.Errorf("itcam: LambdaMass has %d entries for %d cells", len(c.LambdaMass), data.NNZ())
+	}
+	return nil
+}
+
+// Model is a trained ITCAM. All parameter slices are row-major.
+type Model struct {
+	label string
+
+	numUsers     int
+	numIntervals int
+	numItems     int
+	k1           int
+
+	theta  []float64 // N×K1: P(z|θu)
+	phi    []float64 // K1×V: P(v|φz)
+	thetaT []float64 // T×V: P(v|θ't)
+	lambda []float64 // N: λu
+}
+
+// Train fits ITCAM on the rating cuboid (or the weighted cuboid of
+// Equation 20) and returns the model with its training statistics.
+func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
+	var stats model.TrainStats
+	if err := cfg.validate(data); err != nil {
+		return nil, stats, err
+	}
+	n, T, v := data.NumUsers(), data.NumIntervals(), data.NumItems()
+	label := cfg.Label
+	if label == "" {
+		label = "ITCAM"
+	}
+	m := &Model{
+		label:        label,
+		numUsers:     n,
+		numIntervals: T,
+		numItems:     v,
+		k1:           cfg.K1,
+		theta:        make([]float64, n*cfg.K1),
+		phi:          make([]float64, cfg.K1*v),
+		thetaT:       make([]float64, T*v),
+		lambda:       make([]float64, n),
+	}
+	m.initialize(data, cfg.Seed)
+
+	workers := model.Workers(cfg.Workers)
+	acc := newAccumulators(m, workers)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		ll := m.emIteration(data, cfg, workers, acc)
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		if iter > 0 {
+			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
+				stats.Converged = true
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return m, stats, nil
+}
+
+// initialize seeds θ and φ with jittered-uniform rows, θ' with the
+// empirical per-interval item distribution, and λ at one half.
+func (m *Model) initialize(data *cuboid.Cuboid, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fillJitteredRows(rng, m.theta, m.k1)
+	fillJitteredRows(rng, m.phi, m.numItems)
+	for _, cell := range data.Cells() {
+		m.thetaT[int(cell.T)*m.numItems+int(cell.V)] += cell.Score
+	}
+	model.NormalizeRows(m.thetaT, m.numItems, 1e-6)
+	for u := range m.lambda {
+		m.lambda[u] = 0.5
+	}
+}
+
+func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
+	for i := range data {
+		data[i] = 1 + 0.5*rng.Float64()
+	}
+	model.NormalizeRows(data, cols, 0)
+}
+
+// accumulators holds the per-iteration sufficient statistics; the
+// φ and θ' slabs are per-worker to avoid write contention, while θ and λ
+// are sharded by user and written directly.
+type accumulators struct {
+	theta   []float64
+	phiW    [][]float64
+	thetaTW [][]float64
+	lamNum  []float64
+	lamDen  []float64
+	llW     []float64
+}
+
+func newAccumulators(m *Model, workers int) *accumulators {
+	a := &accumulators{
+		theta:   make([]float64, len(m.theta)),
+		lamNum:  make([]float64, m.numUsers),
+		lamDen:  make([]float64, m.numUsers),
+		llW:     make([]float64, workers),
+		phiW:    make([][]float64, workers),
+		thetaTW: make([][]float64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		a.phiW[w] = make([]float64, len(m.phi))
+		a.thetaTW[w] = make([]float64, len(m.thetaT))
+	}
+	return a
+}
+
+func (a *accumulators) reset() {
+	zero(a.theta)
+	zero(a.lamNum)
+	zero(a.lamDen)
+	zero(a.llW)
+	for _, s := range a.phiW {
+		zero(s)
+	}
+	for _, s := range a.thetaTW {
+		zero(s)
+	}
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// emIteration runs one E+M step and returns the data log-likelihood
+// under the parameters *before* the update (the quantity EM is
+// guaranteed not to decrease across iterations).
+func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
+	acc.reset()
+	k1, V := m.k1, m.numItems
+	cells := data.Cells()
+	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
+		phiAcc := acc.phiW[worker]
+		thetaTAcc := acc.thetaTW[worker]
+		pz := make([]float64, k1)
+		var ll float64
+		for u := lo; u < hi; u++ {
+			lam := m.lambda[u]
+			thetaRow := m.theta[u*k1 : (u+1)*k1]
+			for _, ci := range data.UserCells(u) {
+				cell := cells[ci]
+				v, t, w := int(cell.V), int(cell.T), cell.Score
+
+				// E-step — Equations (4) and (5).
+				var pu float64
+				for z := 0; z < k1; z++ {
+					p := thetaRow[z] * m.phi[z*V+v]
+					pz[z] = p
+					pu += p
+				}
+				pt := m.thetaT[t*V+v]
+				denom := lam*pu + (1-lam)*pt
+				if denom <= 0 {
+					denom = 1e-300
+				}
+				ps1 := lam * pu / denom
+				ll += w * math.Log(denom)
+
+				// Accumulate — numerators of Equations (8)–(11).
+				if pu > 0 {
+					scale := w * ps1 / pu
+					for z := 0; z < k1; z++ {
+						c := scale * pz[z]
+						acc.theta[u*k1+z] += c
+						phiAcc[z*V+v] += c
+					}
+				}
+				thetaTAcc[t*V+v] += w * (1 - ps1)
+				lm := w
+				if cfg.LambdaMass != nil {
+					lm = cfg.LambdaMass[ci]
+				}
+				acc.lamNum[u] += lm * ps1
+				acc.lamDen[u] += lm
+			}
+		}
+		acc.llW[worker] = ll
+	})
+
+	// M-step — Equations (8)–(11).
+	copy(m.theta, acc.theta)
+	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
+	copy(m.phi, model.MergeSlabs(acc.phiW))
+	model.NormalizeRows(m.phi, V, cfg.Smoothing)
+	copy(m.thetaT, model.MergeSlabs(acc.thetaTW))
+	model.NormalizeRows(m.thetaT, V, cfg.Smoothing)
+	for u := 0; u < m.numUsers; u++ {
+		if acc.lamDen[u] > 0 {
+			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
+		}
+	}
+
+	var ll float64
+	for _, x := range acc.llW {
+		ll += x
+	}
+	return ll
+}
+
+func clampLambda(x float64) float64 {
+	if x < lambdaClamp {
+		return lambdaClamp
+	}
+	if x > 1-lambdaClamp {
+		return 1 - lambdaClamp
+	}
+	return x
+}
+
+// Name returns the model label ("ITCAM" or "W-ITCAM").
+func (m *Model) Name() string { return m.label }
+
+// NumItems returns the item-catalog size.
+func (m *Model) NumItems() int { return m.numItems }
+
+// NumUsers returns the user count the model was trained on.
+func (m *Model) NumUsers() int { return m.numUsers }
+
+// NumIntervals returns the number of time intervals.
+func (m *Model) NumIntervals() int { return m.numIntervals }
+
+// K1 returns the number of user-oriented topics.
+func (m *Model) K1() int { return m.k1 }
+
+// Lambda returns λu, the personal-interest influence probability of
+// user u (Figures 10–11 plot its distribution).
+func (m *Model) Lambda(u int) float64 { return m.lambda[u] }
+
+// UserInterest returns P(·|θu), user u's distribution over the K1
+// user-oriented topics. Callers must not modify the slice.
+func (m *Model) UserInterest(u int) []float64 { return m.theta[u*m.k1 : (u+1)*m.k1] }
+
+// UserTopic returns P(·|φz), the item distribution of user-oriented
+// topic z. Callers must not modify the slice.
+func (m *Model) UserTopic(z int) []float64 { return m.phi[z*m.numItems : (z+1)*m.numItems] }
+
+// TemporalContext returns P(·|θ't), the item distribution of interval
+// t's temporal context. Callers must not modify the slice.
+func (m *Model) TemporalContext(t int) []float64 {
+	return m.thetaT[t*m.numItems : (t+1)*m.numItems]
+}
+
+// Score implements Equation (1): the likelihood that u rates v during t.
+func (m *Model) Score(u, t, v int) float64 {
+	var pu float64
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		pu += thetaRow[z] * m.phi[z*m.numItems+v]
+	}
+	lam := m.lambda[u]
+	return lam*pu + (1-lam)*m.thetaT[t*m.numItems+v]
+}
+
+// ScoreAll fills scores[v] with Score(u, t, v) for every item in one
+// pass over the topic matrices.
+func (m *Model) ScoreAll(u, t int, scores []float64) {
+	if len(scores) != m.numItems {
+		panic(fmt.Sprintf("itcam: ScoreAll buffer %d, want %d", len(scores), m.numItems))
+	}
+	lam := m.lambda[u]
+	ctx := m.TemporalContext(t)
+	for v := range scores {
+		scores[v] = (1 - lam) * ctx[v]
+	}
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		w := lam * thetaRow[z]
+		if w == 0 {
+			continue
+		}
+		phiRow := m.UserTopic(z)
+		for v := range scores {
+			scores[v] += w * phiRow[v]
+		}
+	}
+}
+
+// NumTopics returns the expanded topic-space size of Section 4.1. For
+// ITCAM each interval's temporal context acts as one additional topic,
+// so K = K1 + T.
+func (m *Model) NumTopics() int { return m.k1 + m.numIntervals }
+
+// QueryWeights returns ϑq for query (u, t): λu·θu on the user-oriented
+// topics and (1−λu) on interval t's pseudo-topic, zero elsewhere.
+func (m *Model) QueryWeights(u, t int) []float64 {
+	out := make([]float64, m.NumTopics())
+	lam := m.lambda[u]
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		out[z] = lam * thetaRow[z]
+	}
+	out[m.k1+t] = 1 - lam
+	return out
+}
+
+// TopicItems returns ϕ_z̃: a user-oriented topic's item distribution for
+// z̃ < K1, an interval's temporal context otherwise.
+func (m *Model) TopicItems(z int) []float64 {
+	if z < m.k1 {
+		return m.UserTopic(z)
+	}
+	return m.TemporalContext(z - m.k1)
+}
+
+var (
+	_ model.BulkScorer  = (*Model)(nil)
+	_ model.TopicScorer = (*Model)(nil)
+)

@@ -1,0 +1,268 @@
+package itcam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// trendWorld builds a cuboid with two user populations over two item
+// groups: "interest" users always rate their own pet items regardless of
+// interval; "trend" users rate whichever item is hot in the current
+// interval. This is the minimal world where the λu split is observable.
+func trendWorld(tb testing.TB, seed int64) *cuboid.Cuboid {
+	tb.Helper()
+	const (
+		nUsers     = 40 // 0..19 interest-driven, 20..39 trend-driven
+		nIntervals = 8
+		nItems     = 40 // 0..19 stable pets, 20..39 one hot item per interval ×2
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := cuboid.NewBuilder(nUsers, nIntervals, nItems)
+	for u := 0; u < 20; u++ {
+		pet := u % 10
+		for t := 0; t < nIntervals; t++ {
+			b.MustAdd(u, t, pet, 1)
+			b.MustAdd(u, t, (pet+1)%10, 1)
+			if rng.Float64() < 0.3 {
+				b.MustAdd(u, t, 10+rng.Intn(10), 1)
+			}
+		}
+	}
+	for u := 20; u < 40; u++ {
+		for t := 0; t < nIntervals; t++ {
+			hot := 20 + t*2
+			b.MustAdd(u, t, hot, 1)
+			b.MustAdd(u, t, hot+1, 1)
+			if rng.Float64() < 0.3 {
+				b.MustAdd(u, t, rng.Intn(20), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func trainTrend(tb testing.TB) (*Model, model.TrainStats) {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.K1 = 12
+	cfg.MaxIters = 60
+	cfg.Workers = 2
+	m, st, err := Train(trendWorld(tb, 7), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, st
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := trendWorld(t, 1)
+	tests := []struct {
+		name string
+		data *cuboid.Cuboid
+		mod  func(*Config)
+	}{
+		{"zero K1", good, func(c *Config) { c.K1 = 0 }},
+		{"zero iters", good, func(c *Config) { c.MaxIters = 0 }},
+		{"negative smoothing", good, func(c *Config) { c.Smoothing = -1 }},
+		{"empty cuboid", cuboid.NewBuilder(2, 2, 2).Build(), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tt.mod != nil {
+				tt.mod(&cfg)
+			}
+			if _, _, err := Train(tt.data, cfg); err == nil {
+				t.Error("Train accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestDenseGuard(t *testing.T) {
+	b := cuboid.NewBuilder(1, 1<<14, 1<<13)
+	b.MustAdd(0, 0, 0, 1)
+	if _, _, err := Train(b.Build(), DefaultConfig()); err == nil {
+		t.Error("Train accepted a catalog requiring an oversized dense temporal table")
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	_, st := trainTrend(t)
+	if st.Iterations() < 3 {
+		t.Fatalf("only %d iterations recorded", st.Iterations())
+	}
+	for i := 1; i < st.Iterations(); i++ {
+		prev, cur := st.LogLikelihood[i-1], st.LogLikelihood[i]
+		if cur < prev-math.Abs(prev)*1e-8-1e-8 {
+			t.Fatalf("log-likelihood decreased at iter %d: %v -> %v", i, prev, cur)
+		}
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	m, _ := trainTrend(t)
+	checkSimplex := func(name string, p []float64) {
+		t.Helper()
+		var sum float64
+		for _, x := range p {
+			if x < 0 {
+				t.Fatalf("%s has negative entry %v", name, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%s sums to %v", name, sum)
+		}
+	}
+	for u := 0; u < m.NumUsers(); u++ {
+		checkSimplex("theta_u", m.UserInterest(u))
+	}
+	for z := 0; z < m.K1(); z++ {
+		checkSimplex("phi_z", m.UserTopic(z))
+	}
+	for tt := 0; tt < m.NumIntervals(); tt++ {
+		checkSimplex("theta'_t", m.TemporalContext(tt))
+	}
+	for u := 0; u < m.NumUsers(); u++ {
+		if l := m.Lambda(u); l < lambdaClamp-1e-12 || l > 1-lambdaClamp+1e-12 {
+			t.Fatalf("lambda[%d] = %v outside clamp", u, l)
+		}
+	}
+}
+
+func TestLambdaSeparatesPopulations(t *testing.T) {
+	m, _ := trainTrend(t)
+	var interest, trend float64
+	for u := 0; u < 20; u++ {
+		interest += m.Lambda(u)
+	}
+	for u := 20; u < 40; u++ {
+		trend += m.Lambda(u)
+	}
+	interest /= 20
+	trend /= 20
+	if interest <= trend {
+		t.Errorf("mean λ interest-driven %v ≤ trend-driven %v; mixture not separating", interest, trend)
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	m, _ := trainTrend(t)
+	scores := make([]float64, m.NumItems())
+	for _, q := range [][2]int{{0, 0}, {25, 3}, {39, 7}} {
+		u, tt := q[0], q[1]
+		m.ScoreAll(u, tt, scores)
+		for v := 0; v < m.NumItems(); v++ {
+			if want := m.Score(u, tt, v); math.Abs(scores[v]-want) > 1e-12 {
+				t.Fatalf("ScoreAll(%d,%d)[%d] = %v, Score = %v", u, tt, v, scores[v], want)
+			}
+		}
+	}
+}
+
+func TestTopicDecompositionMatchesScore(t *testing.T) {
+	m, _ := trainTrend(t)
+	for _, q := range [][2]int{{3, 1}, {30, 5}} {
+		u, tt := q[0], q[1]
+		w := m.QueryWeights(u, tt)
+		if len(w) != m.NumTopics() {
+			t.Fatalf("QueryWeights length %d, want %d", len(w), m.NumTopics())
+		}
+		for v := 0; v < m.NumItems(); v += 7 {
+			var s float64
+			for z, wz := range w {
+				if wz == 0 {
+					continue
+				}
+				s += wz * m.TopicItems(z)[v]
+			}
+			if want := m.Score(u, tt, v); math.Abs(s-want) > 1e-10 {
+				t.Fatalf("topic decomposition score %v != Score %v at (u=%d,t=%d,v=%d)", s, want, u, tt, v)
+			}
+		}
+	}
+}
+
+func TestScoreAllPanicsOnBadBuffer(t *testing.T) {
+	m, _ := trainTrend(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong buffer size")
+		}
+	}()
+	m.ScoreAll(0, 0, make([]float64, 3))
+}
+
+func TestTrendUsersRankHotItems(t *testing.T) {
+	m, _ := trainTrend(t)
+	// For a trend-driven user, the hot pair of interval 4 must outrank a
+	// random stable item in interval 4 but not in interval 0.
+	hot4 := 20 + 4*2
+	if m.Score(25, 4, hot4) <= m.Score(25, 4, 15) {
+		t.Error("hot item of interval 4 not promoted for trend user at t=4")
+	}
+	if m.Score(25, 0, hot4) >= m.Score(25, 0, 20) {
+		t.Error("interval-4 hot item outranks interval-0 hot item at t=0")
+	}
+	// For an interest-driven user, the pet item must outrank the hot one
+	// even during the burst interval.
+	if m.Score(0, 4, 0) <= m.Score(0, 4, hot4) {
+		t.Error("pet item of interest user not promoted over hot item")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K1 = 6
+	cfg.MaxIters = 10
+	data := trendWorld(t, 3)
+	m1, st1, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, st2, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Final() != st2.Final() {
+		t.Errorf("same seed, different final LL: %v vs %v", st1.Final(), st2.Final())
+	}
+	for i := range m1.theta {
+		if m1.theta[i] != m2.theta[i] {
+			t.Fatal("same seed, different theta")
+		}
+	}
+	// Parallel E-step must agree with single-worker within float noise.
+	cfg.Workers = 4
+	m4, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.phi {
+		if math.Abs(m1.phi[i]-m4.phi[i]) > 1e-9 {
+			t.Fatalf("parallel phi diverges at %d: %v vs %v", i, m1.phi[i], m4.phi[i])
+		}
+	}
+}
+
+func TestConvergenceFlag(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K1 = 4
+	cfg.MaxIters = 500
+	cfg.Tol = 1e-7
+	_, st, err := Train(trendWorld(t, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Error("training did not converge within 500 iterations at tol 1e-7")
+	}
+	if st.Iterations() >= 500 {
+		t.Error("converged flag set but all iterations used")
+	}
+}

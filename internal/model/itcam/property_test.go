@@ -1,0 +1,115 @@
+package itcam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcam/internal/cuboid"
+)
+
+func randomWorld(seed int64) *cuboid.Cuboid {
+	r := rand.New(rand.NewSource(seed))
+	nu, nt, nv := 4+r.Intn(10), 2+r.Intn(5), 5+r.Intn(15)
+	b := cuboid.NewBuilder(nu, nt, nv)
+	n := 20 + r.Intn(120)
+	for i := 0; i < n; i++ {
+		b.MustAdd(r.Intn(nu), r.Intn(nt), r.Intn(nv), 0.5+2*r.Float64())
+	}
+	return b.Build()
+}
+
+// Property: on arbitrary small worlds, EM keeps every distribution on
+// the simplex and the log-likelihood non-decreasing.
+func TestEMInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		data := randomWorld(seed)
+		cfg := DefaultConfig()
+		cfg.K1, cfg.MaxIters = 4, 8
+		cfg.Seed = seed
+		m, st, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < st.Iterations(); i++ {
+			prev, cur := st.LogLikelihood[i-1], st.LogLikelihood[i]
+			if cur < prev-math.Abs(prev)*1e-8-1e-8 {
+				return false
+			}
+		}
+		onSimplex := func(p []float64) bool {
+			var sum float64
+			for _, x := range p {
+				if x < 0 || math.IsNaN(x) {
+					return false
+				}
+				sum += x
+			}
+			return math.Abs(sum-1) < 1e-6
+		}
+		for u := 0; u < m.NumUsers(); u++ {
+			if !onSimplex(m.UserInterest(u)) {
+				return false
+			}
+		}
+		for z := 0; z < m.K1(); z++ {
+			if !onSimplex(m.UserTopic(z)) {
+				return false
+			}
+		}
+		for tt := 0; tt < m.NumIntervals(); tt++ {
+			if !onSimplex(m.TemporalContext(tt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TA decomposition (QueryWeights · TopicItems) equals Score
+// for random models and probes.
+func TestDecompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		data := randomWorld(seed)
+		cfg := DefaultConfig()
+		cfg.K1, cfg.MaxIters = 3, 5
+		m, _, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed + 99))
+		for probe := 0; probe < 10; probe++ {
+			u := r.Intn(m.NumUsers())
+			tt := r.Intn(m.NumIntervals())
+			v := r.Intn(m.NumItems())
+			w := m.QueryWeights(u, tt)
+			var s float64
+			for z, wz := range w {
+				if wz != 0 {
+					s += wz * m.TopicItems(z)[v]
+				}
+			}
+			if math.Abs(s-m.Score(u, tt, v)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLambdaMassValidation(t *testing.T) {
+	data := randomWorld(1)
+	cfg := DefaultConfig()
+	cfg.K1 = 3
+	cfg.LambdaMass = []float64{1} // wrong length
+	if _, _, err := Train(data, cfg); err == nil {
+		t.Error("Train accepted mismatched LambdaMass")
+	}
+}

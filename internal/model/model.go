@@ -1,0 +1,159 @@
+// Package model defines the contracts shared by every user-behavior
+// model in the TCAM reproduction — the two TCAM variants, the UT/TT
+// topic baselines, BPRMF and BPTF — plus the parallel-EM machinery they
+// share. Concrete models live in the subpackages.
+package model
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Recommender is the minimal surface the evaluation harness needs: a
+// ranking score for item v given the query (u, t) of Section 4. Higher
+// is better; absolute scale is model-specific.
+type Recommender interface {
+	// Name returns the label used in the paper's tables and figures
+	// (e.g. "W-TTCAM", "BPRMF").
+	Name() string
+	// Score returns the ranking score S(u, t, v).
+	Score(u, t, v int) float64
+	// NumItems returns the item-catalog size the model was trained on.
+	NumItems() int
+}
+
+// BulkScorer is an optional fast path: fill scores[v] for every item at
+// once. The brute-force ranker uses it when available to avoid
+// recomputing per-query state V times.
+type BulkScorer interface {
+	Recommender
+	// ScoreAll writes S(u, t, v) into scores[v] for all v. len(scores)
+	// must be NumItems().
+	ScoreAll(u, t int, scores []float64)
+}
+
+// TopicScorer exposes the expanded topic space of Section 4.1, the
+// interface the Threshold Algorithm needs: a query decomposes into
+// non-negative per-topic weights ϑq, items carry non-negative per-topic
+// weights ϕ_z̃v, and the ranking score is their inner product
+// (Equation 22). Monotonicity of this form is what makes TA applicable.
+type TopicScorer interface {
+	Recommender
+	// NumTopics returns K, the expanded topic-space dimension.
+	NumTopics() int
+	// QueryWeights returns ϑq for query (u, t): a non-negative vector of
+	// length NumTopics(). Entries may be zero; TA skips those lists.
+	QueryWeights(u, t int) []float64
+	// TopicItems returns ϕ_z̃ for topic z̃: non-negative per-item weights
+	// of length NumItems(). Callers must not modify the slice.
+	TopicItems(z int) []float64
+}
+
+// TrainStats records an EM run: the log-likelihood after every
+// iteration and why training stopped.
+type TrainStats struct {
+	// LogLikelihood[i] is the data log-likelihood after iteration i+1.
+	LogLikelihood []float64
+	// Converged is true when the relative improvement fell below the
+	// tolerance before MaxIters was reached.
+	Converged bool
+}
+
+// Iterations returns the number of EM iterations actually run.
+func (s TrainStats) Iterations() int { return len(s.LogLikelihood) }
+
+// Final returns the last recorded log-likelihood, or 0 when training
+// recorded none.
+func (s TrainStats) Final() float64 {
+	if len(s.LogLikelihood) == 0 {
+		return 0
+	}
+	return s.LogLikelihood[len(s.LogLikelihood)-1]
+}
+
+// Workers resolves a configured worker count: non-positive means one
+// worker per available CPU.
+func Workers(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelRanges splits [0, n) into contiguous chunks and runs fn once
+// per chunk across the given number of workers, blocking until all
+// complete. fn receives the worker index (for per-worker accumulators)
+// and its [lo, hi) range. With one worker or tiny n it degenerates to a
+// direct call, keeping single-threaded runs allocation-free.
+func ParallelRanges(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			fn(worker, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// NormalizeRows renormalizes each length-cols row of a flat row-major
+// accumulator into a probability distribution with additive smoothing
+// eps, writing the result in place. A row with no mass becomes uniform.
+func NormalizeRows(data []float64, cols int, eps float64) {
+	if cols <= 0 {
+		return
+	}
+	for r := 0; r*cols < len(data); r++ {
+		row := data[r*cols : (r+1)*cols]
+		var sum float64
+		for _, x := range row {
+			sum += x
+		}
+		denom := sum + eps*float64(cols)
+		if denom <= 0 {
+			u := 1.0 / float64(cols)
+			for i := range row {
+				row[i] = u
+			}
+			continue
+		}
+		for i := range row {
+			row[i] = (row[i] + eps) / denom
+		}
+	}
+}
+
+// MergeSlabs element-wise sums per-worker accumulator slabs into
+// slabs[0] and returns it.
+func MergeSlabs(slabs [][]float64) []float64 {
+	if len(slabs) == 0 {
+		return nil
+	}
+	dst := slabs[0]
+	for _, s := range slabs[1:] {
+		for i, x := range s {
+			dst[i] += x
+		}
+	}
+	return dst
+}

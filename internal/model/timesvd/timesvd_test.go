@@ -1,0 +1,225 @@
+package timesvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+)
+
+// driftWorld: two user camps with opposite tastes, plus a drift — camp
+// A's items gain favor over time for everyone.
+func driftWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(12))
+	b := cuboid.NewBuilder(30, 6, 20)
+	for u := 0; u < 30; u++ {
+		loves := 0
+		if u >= 15 {
+			loves = 10
+		}
+		for t := 0; t < 6; t++ {
+			for k := 0; k < 3; k++ {
+				v := rng.Intn(20)
+				score := 2.0
+				if (v < 10) == (loves == 0) {
+					score = 4.5
+				}
+				if v < 10 {
+					score += 0.3 * float64(t) // drift up
+				}
+				b.MustAdd(u, t, v, score)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func trainDrift(tb testing.TB) *Model {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.Factors = 8
+	cfg.Epochs = 60
+	cfg.NegativeRatio = 0
+	m, _, err := Train(driftWorld(tb), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := driftWorld(t)
+	bad := []func(*Config){
+		func(c *Config) { c.Factors = 0 },
+		func(c *Config) { c.Bins = 0 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.LearnRate = 0 },
+		func(c *Config) { c.Reg = -1 },
+		func(c *Config) { c.Beta = -1 },
+		func(c *Config) { c.NegativeRatio = -1 },
+		func(c *Config) { c.InitStd = 0 },
+	}
+	for i, mod := range bad {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if _, _, err := Train(good, cfg); err == nil {
+			t.Errorf("case %d: Train accepted invalid config", i)
+		}
+	}
+	if _, _, err := Train(cuboid.NewBuilder(1, 1, 1).Build(), DefaultConfig()); err == nil {
+		t.Error("Train accepted empty cuboid")
+	}
+}
+
+func TestCampsSeparate(t *testing.T) {
+	m := trainDrift(t)
+	avg := func(u, lo, hi, tt int) float64 {
+		var s float64
+		for v := lo; v < hi; v++ {
+			s += m.Score(u, tt, v)
+		}
+		return s / float64(hi-lo)
+	}
+	for _, u := range []int{0, 7, 14} {
+		if avg(u, 0, 10, 2) <= avg(u, 10, 20, 2) {
+			t.Errorf("camp-A user %d does not prefer camp-A items", u)
+		}
+	}
+	for _, u := range []int{15, 22, 29} {
+		if avg(u, 10, 20, 2) <= avg(u, 0, 10, 2) {
+			t.Errorf("camp-B user %d does not prefer camp-B items", u)
+		}
+	}
+}
+
+func TestCapturesDrift(t *testing.T) {
+	m := trainDrift(t)
+	var early, late float64
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 10; v++ {
+			early += m.Score(u, 0, v)
+			late += m.Score(u, 5, v)
+		}
+	}
+	if late <= early {
+		t.Errorf("upward drift not captured: late %v ≤ early %v", late, early)
+	}
+}
+
+func TestTrainingErrorDecreases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Factors = 8
+	cfg.Epochs = 40
+	cfg.NegativeRatio = 0
+	_, st, err := Train(driftWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := st.LogLikelihood[0], st.Final()
+	if last <= first {
+		t.Errorf("negated SSE did not improve: first %v, last %v", first, last)
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	m := trainDrift(t)
+	scores := make([]float64, m.NumItems())
+	for _, q := range [][2]int{{0, 0}, {20, 5}} {
+		m.ScoreAll(q[0], q[1], scores)
+		for v := range scores {
+			if want := m.Score(q[0], q[1], v); math.Abs(scores[v]-want) > 1e-12 {
+				t.Fatalf("ScoreAll(%d,%d)[%d] = %v, Score = %v", q[0], q[1], v, scores[v], want)
+			}
+		}
+	}
+}
+
+func TestDevProperties(t *testing.T) {
+	m := trainDrift(t)
+	u := 0
+	// dev is antisymmetric around the user's mean time and grows
+	// sublinearly (beta < 1).
+	mid := int(m.meanTime[u] + 0.5)
+	if d := m.dev(u, mid); math.Abs(d) > 0.8 {
+		t.Errorf("dev near mean time = %v, want ≈0", d)
+	}
+	if m.dev(u, 0) >= 0 {
+		t.Error("dev before mean time should be negative")
+	}
+	if m.dev(u, m.numIntervals-1) <= 0 {
+		t.Error("dev after mean time should be positive")
+	}
+}
+
+func TestBinMapping(t *testing.T) {
+	m := trainDrift(t)
+	if m.bin(0) != 0 {
+		t.Error("first interval should map to bin 0")
+	}
+	prev := -1
+	for tt := 0; tt < m.numIntervals; tt++ {
+		b := m.bin(tt)
+		if b < prev || b < 0 || b >= m.bins {
+			t.Fatalf("bin(%d) = %d not monotone within [0,%d)", tt, b, m.bins)
+		}
+		prev = b
+	}
+}
+
+func TestImplicitRankingWithNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := cuboid.NewBuilder(30, 3, 20)
+	for u := 0; u < 30; u++ {
+		base := 0
+		if u >= 15 {
+			base = 10
+		}
+		for t := 0; t < 3; t++ {
+			for k := 0; k < 3; k++ {
+				b.MustAdd(u, t, base+rng.Intn(10), 1)
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Factors = 8
+	cfg.Epochs = 60
+	cfg.NegativeRatio = 2
+	m, _, err := Train(b.Build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(u, lo, hi int) float64 {
+		var s float64
+		for v := lo; v < hi; v++ {
+			s += m.Score(u, 1, v)
+		}
+		return s / float64(hi-lo)
+	}
+	for _, u := range []int{0, 14} {
+		if avg(u, 0, 10) <= avg(u, 10, 20) {
+			t.Errorf("user %d does not rank own-camp items first", u)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	data := driftWorld(t)
+	cfg := DefaultConfig()
+	cfg.Factors = 4
+	cfg.Epochs = 5
+	m1, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.q {
+		if m1.q[i] != m2.q[i] {
+			t.Fatal("same seed, different factors")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package tt implements the Time-Topic baseline of Section 5.2: the
+// mirror image of UT, generating items only from the temporal context
+// and ignoring user identity:
+//
+//	P(v|t) = λB·P(v|θB) + (1−λB)·Σ_x P(x|θ't)P(v|φ'x)
+//
+// It wins on time-sensitive catalogs (Digg) and loses on interest-driven
+// ones (MovieLens) — the asymmetry TCAM unifies.
+package tt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// Config parameterizes TT training.
+type Config struct {
+	// K is the number of time-oriented topics.
+	K int
+	// LambdaB is the fixed background mixing weight λB.
+	LambdaB float64
+	// MaxIters bounds EM; Tol is the early-stopping tolerance.
+	MaxIters int
+	Tol      float64
+	Seed     int64
+	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	Workers   int
+	Smoothing float64
+}
+
+// DefaultConfig returns the harness's standard TT configuration.
+func DefaultConfig() Config {
+	return Config{K: 40, LambdaB: 0.1, MaxIters: 50, Tol: 1e-5, Seed: 1, Smoothing: 1e-9}
+}
+
+func (c Config) validate(data *cuboid.Cuboid) error {
+	switch {
+	case c.K <= 0:
+		return fmt.Errorf("tt: K must be positive, got %d", c.K)
+	case c.LambdaB < 0 || c.LambdaB >= 1:
+		return fmt.Errorf("tt: LambdaB %v outside [0,1)", c.LambdaB)
+	case c.MaxIters <= 0:
+		return fmt.Errorf("tt: MaxIters must be positive")
+	case c.Smoothing < 0:
+		return fmt.Errorf("tt: negative smoothing %v", c.Smoothing)
+	}
+	if data.NNZ() == 0 {
+		return errors.New("tt: empty training cuboid")
+	}
+	return nil
+}
+
+// Model is a trained time-topic model.
+type Model struct {
+	numIntervals int
+	numItems     int
+	k            int
+	lambdaB      float64
+
+	thetaT     []float64 // T×K: P(x|θ't)
+	phi        []float64 // K×V: P(v|φ'x)
+	background []float64 // V: θB
+}
+
+// Train fits the time-topic model. The cuboid's user dimension is
+// ignored (ratings aggregate across users); the E-step parallelizes
+// over intervals.
+func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
+	var stats model.TrainStats
+	if err := cfg.validate(data); err != nil {
+		return nil, stats, err
+	}
+	T, v := data.NumIntervals(), data.NumItems()
+	m := &Model{
+		numIntervals: T,
+		numItems:     v,
+		k:            cfg.K,
+		lambdaB:      cfg.LambdaB,
+		thetaT:       make([]float64, T*cfg.K),
+		phi:          make([]float64, cfg.K*v),
+		background:   make([]float64, v),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitterRows(rng, m.thetaT, cfg.K)
+	jitterRows(rng, m.phi, v)
+	for _, cell := range data.Cells() {
+		m.background[cell.V] += cell.Score
+	}
+	model.NormalizeRows(m.background, v, 1e-9)
+
+	workers := model.Workers(cfg.Workers)
+	thetaAcc := make([]float64, len(m.thetaT))
+	phiW := make([][]float64, workers)
+	for w := range phiW {
+		phiW[w] = make([]float64, len(m.phi))
+	}
+	llW := make([]float64, workers)
+	cells := data.Cells()
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range thetaAcc {
+			thetaAcc[i] = 0
+		}
+		for _, s := range phiW {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+		model.ParallelRanges(T, workers, func(worker, lo, hi int) {
+			phiAcc := phiW[worker]
+			px := make([]float64, cfg.K)
+			var ll float64
+			for t := lo; t < hi; t++ {
+				thetaRow := m.thetaT[t*cfg.K : (t+1)*cfg.K]
+				for _, ci := range data.IntervalCells(t) {
+					cell := cells[ci]
+					vv, w := int(cell.V), cell.Score
+					var pt float64
+					for x := 0; x < cfg.K; x++ {
+						p := thetaRow[x] * m.phi[x*v+vv]
+						px[x] = p
+						pt += p
+					}
+					denom := cfg.LambdaB*m.background[vv] + (1-cfg.LambdaB)*pt
+					if denom <= 0 {
+						denom = 1e-300
+					}
+					ll += w * math.Log(denom)
+					if pt > 0 {
+						pTopic := (1 - cfg.LambdaB) * pt / denom
+						scale := w * pTopic / pt
+						for x := 0; x < cfg.K; x++ {
+							c := scale * px[x]
+							thetaAcc[t*cfg.K+x] += c
+							phiAcc[x*v+vv] += c
+						}
+					}
+				}
+			}
+			llW[worker] += ll
+		})
+		copy(m.thetaT, thetaAcc)
+		model.NormalizeRows(m.thetaT, cfg.K, cfg.Smoothing)
+		copy(m.phi, model.MergeSlabs(phiW))
+		model.NormalizeRows(m.phi, v, cfg.Smoothing)
+
+		var ll float64
+		for w := range llW {
+			ll += llW[w]
+			llW[w] = 0
+		}
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		if iter > 0 {
+			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
+				stats.Converged = true
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return m, stats, nil
+}
+
+func jitterRows(rng *rand.Rand, data []float64, cols int) {
+	for i := range data {
+		data[i] = 1 + 0.5*rng.Float64()
+	}
+	model.NormalizeRows(data, cols, 0)
+}
+
+// Name returns "TT".
+func (m *Model) Name() string { return "TT" }
+
+// NumItems returns the item-catalog size.
+func (m *Model) NumItems() int { return m.numItems }
+
+// K returns the number of time-oriented topics.
+func (m *Model) K() int { return m.k }
+
+// TemporalContext returns P(·|θ't). Callers must not modify the slice.
+func (m *Model) TemporalContext(t int) []float64 { return m.thetaT[t*m.k : (t+1)*m.k] }
+
+// Topic returns P(·|φ'x). Callers must not modify the slice.
+func (m *Model) Topic(x int) []float64 { return m.phi[x*m.numItems : (x+1)*m.numItems] }
+
+// Score returns P(v|t); the user argument is ignored by design.
+func (m *Model) Score(_, t, v int) float64 {
+	var pt float64
+	thetaRow := m.TemporalContext(t)
+	for x := 0; x < m.k; x++ {
+		pt += thetaRow[x] * m.phi[x*m.numItems+v]
+	}
+	return m.lambdaB*m.background[v] + (1-m.lambdaB)*pt
+}
+
+// ScoreAll fills scores[v] = P(v|t) for every item.
+func (m *Model) ScoreAll(_, t int, scores []float64) {
+	if len(scores) != m.numItems {
+		panic(fmt.Sprintf("tt: ScoreAll buffer %d, want %d", len(scores), m.numItems))
+	}
+	for v := range scores {
+		scores[v] = m.lambdaB * m.background[v]
+	}
+	thetaRow := m.TemporalContext(t)
+	for x := 0; x < m.k; x++ {
+		w := (1 - m.lambdaB) * thetaRow[x]
+		if w == 0 {
+			continue
+		}
+		row := m.Topic(x)
+		for v := range scores {
+			scores[v] += w * row[v]
+		}
+	}
+}
+
+var _ model.BulkScorer = (*Model)(nil)

@@ -1,0 +1,133 @@
+package tt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+)
+
+// trendOnlyWorld: everyone rates the per-interval hot pair, regardless
+// of identity.
+func trendOnlyWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(6))
+	b := cuboid.NewBuilder(30, 6, 20)
+	for u := 0; u < 30; u++ {
+		for t := 0; t < 6; t++ {
+			hot := t * 3
+			b.MustAdd(u, t, hot, 1)
+			if rng.Float64() < 0.6 {
+				b.MustAdd(u, t, hot+1, 1)
+			}
+			if rng.Float64() < 0.2 {
+				b.MustAdd(u, t, rng.Intn(20), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func trainTT(tb testing.TB) *Model {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.MaxIters = 40
+	cfg.Workers = 2
+	m, _, err := Train(trendOnlyWorld(tb), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := trendOnlyWorld(t)
+	bad := []func(*Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.LambdaB = 1 },
+		func(c *Config) { c.MaxIters = 0 },
+		func(c *Config) { c.Smoothing = -1 },
+	}
+	for i, mod := range bad {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if _, _, err := Train(good, cfg); err == nil {
+			t.Errorf("case %d: Train accepted invalid config", i)
+		}
+	}
+	if _, _, err := Train(cuboid.NewBuilder(1, 1, 1).Build(), DefaultConfig()); err == nil {
+		t.Error("Train accepted empty cuboid")
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.MaxIters = 40
+	_, st, err := Train(trendOnlyWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations() < 2 {
+		t.Fatal("too few iterations")
+	}
+	for i := 1; i < st.Iterations(); i++ {
+		if st.LogLikelihood[i] < st.LogLikelihood[i-1]-math.Abs(st.LogLikelihood[i-1])*1e-8 {
+			t.Fatalf("LL decreased at iter %d", i)
+		}
+	}
+}
+
+func TestScoreIgnoresUser(t *testing.T) {
+	m := trainTT(t)
+	for v := 0; v < m.NumItems(); v += 3 {
+		if m.Score(0, 2, v) != m.Score(29, 2, v) {
+			t.Fatalf("TT score depends on user at v=%d", v)
+		}
+	}
+}
+
+func TestHotItemsTrackIntervals(t *testing.T) {
+	m := trainTT(t)
+	for tt := 0; tt < 6; tt++ {
+		hot := tt * 3
+		other := ((tt + 3) % 6) * 3
+		if m.Score(0, tt, hot) <= m.Score(0, tt, other) {
+			t.Errorf("interval %d: its hot item %d not ranked above interval %d's", tt, hot, (tt+3)%6)
+		}
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	m := trainTT(t)
+	scores := make([]float64, m.NumItems())
+	m.ScoreAll(0, 4, scores)
+	for v := range scores {
+		if want := m.Score(0, 4, v); math.Abs(scores[v]-want) > 1e-12 {
+			t.Fatalf("ScoreAll[%d] = %v, Score = %v", v, scores[v], want)
+		}
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	m := trainTT(t)
+	sum := func(p []float64) float64 {
+		var s float64
+		for _, x := range p {
+			s += x
+		}
+		return s
+	}
+	for x := 0; x < m.K(); x++ {
+		if s := sum(m.Topic(x)); math.Abs(s-1) > 1e-6 {
+			t.Fatalf("topic %d sums to %v", x, s)
+		}
+	}
+	for tt := 0; tt < 6; tt++ {
+		if s := sum(m.TemporalContext(tt)); math.Abs(s-1) > 1e-6 {
+			t.Fatalf("context %d sums to %v", tt, s)
+		}
+	}
+}

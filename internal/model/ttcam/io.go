@@ -1,0 +1,83 @@
+package ttcam
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wire is the gob format of a trained TTCAM.
+type wire struct {
+	Label        string
+	NumUsers     int
+	NumIntervals int
+	NumItems     int
+	K1, K2       int
+	Theta        []float64
+	Phi          []float64
+	ThetaTx      []float64
+	PhiX         []float64
+	Lambda       []float64
+	BackgroundW  float64
+	Background   []float64
+}
+
+// Write serializes the trained model to w in gob format.
+func (m *Model) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(&wire{
+		Label:        m.label,
+		NumUsers:     m.numUsers,
+		NumIntervals: m.numIntervals,
+		NumItems:     m.numItems,
+		K1:           m.k1,
+		K2:           m.k2,
+		Theta:        m.theta,
+		Phi:          m.phi,
+		ThetaTx:      m.thetaTx,
+		PhiX:         m.phiX,
+		Lambda:       m.lambda,
+		BackgroundW:  m.backgroundW,
+		Background:   m.background,
+	}); err != nil {
+		return fmt.Errorf("ttcam: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a model written with Write, validating dimensions.
+func Read(r io.Reader) (*Model, error) {
+	var w wire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("ttcam: decode: %w", err)
+	}
+	if w.NumUsers <= 0 || w.NumIntervals <= 0 || w.NumItems <= 0 || w.K1 <= 0 || w.K2 <= 0 {
+		return nil, fmt.Errorf("ttcam: corrupt dimensions %d/%d/%d/K1=%d/K2=%d",
+			w.NumUsers, w.NumIntervals, w.NumItems, w.K1, w.K2)
+	}
+	if len(w.Theta) != w.NumUsers*w.K1 || len(w.Phi) != w.K1*w.NumItems ||
+		len(w.ThetaTx) != w.NumIntervals*w.K2 || len(w.PhiX) != w.K2*w.NumItems ||
+		len(w.Lambda) != w.NumUsers {
+		return nil, fmt.Errorf("ttcam: parameter lengths inconsistent with dimensions")
+	}
+	if w.BackgroundW > 0 && len(w.Background) != w.NumItems {
+		return nil, fmt.Errorf("ttcam: background length %d, want %d", len(w.Background), w.NumItems)
+	}
+	return &Model{
+		label:        w.Label,
+		numUsers:     w.NumUsers,
+		numIntervals: w.NumIntervals,
+		numItems:     w.NumItems,
+		k1:           w.K1,
+		k2:           w.K2,
+		theta:        w.Theta,
+		phi:          w.Phi,
+		thetaTx:      w.ThetaTx,
+		phiX:         w.PhiX,
+		lambda:       w.Lambda,
+		backgroundW:  w.BackgroundW,
+		background:   w.Background,
+	}, nil
+}

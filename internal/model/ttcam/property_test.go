@@ -1,0 +1,155 @@
+package ttcam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcam/internal/cuboid"
+)
+
+// randomWorld builds a random small cuboid from a seed.
+func randomWorld(seed int64) *cuboid.Cuboid {
+	r := rand.New(rand.NewSource(seed))
+	nu, nt, nv := 4+r.Intn(10), 2+r.Intn(5), 5+r.Intn(15)
+	b := cuboid.NewBuilder(nu, nt, nv)
+	n := 20 + r.Intn(120)
+	for i := 0; i < n; i++ {
+		b.MustAdd(r.Intn(nu), r.Intn(nt), r.Intn(nv), 0.5+2*r.Float64())
+	}
+	return b.Build()
+}
+
+// Property: on arbitrary small worlds, EM keeps every distribution on
+// the simplex and the log-likelihood non-decreasing.
+func TestEMInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		data := randomWorld(seed)
+		cfg := DefaultConfig()
+		cfg.K1, cfg.K2, cfg.MaxIters = 4, 3, 8
+		cfg.Seed = seed
+		m, st, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < st.Iterations(); i++ {
+			prev, cur := st.LogLikelihood[i-1], st.LogLikelihood[i]
+			if cur < prev-math.Abs(prev)*1e-8-1e-8 {
+				return false
+			}
+		}
+		onSimplex := func(p []float64) bool {
+			var sum float64
+			for _, x := range p {
+				if x < 0 || math.IsNaN(x) {
+					return false
+				}
+				sum += x
+			}
+			return math.Abs(sum-1) < 1e-6
+		}
+		for u := 0; u < m.NumUsers(); u++ {
+			if !onSimplex(m.UserInterest(u)) {
+				return false
+			}
+			if l := m.Lambda(u); l < 0 || l > 1 {
+				return false
+			}
+		}
+		for z := 0; z < m.K1(); z++ {
+			if !onSimplex(m.UserTopic(z)) {
+				return false
+			}
+		}
+		for x := 0; x < m.K2(); x++ {
+			if !onSimplex(m.TimeTopic(x)) {
+				return false
+			}
+		}
+		for tt := 0; tt < m.NumIntervals(); tt++ {
+			if !onSimplex(m.TemporalContext(tt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scores are valid probabilities (non-negative, and summing
+// over items to one for any (u, t)).
+func TestScoreIsDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		data := randomWorld(seed)
+		cfg := DefaultConfig()
+		cfg.K1, cfg.K2, cfg.MaxIters = 3, 3, 5
+		m, _, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		scores := make([]float64, m.NumItems())
+		for u := 0; u < m.NumUsers(); u += 3 {
+			for tt := 0; tt < m.NumIntervals(); tt++ {
+				m.ScoreAll(u, tt, scores)
+				var sum float64
+				for _, s := range scores {
+					if s < 0 || math.IsNaN(s) {
+						return false
+					}
+					sum += s
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LambdaMass with the training scores themselves is a no-op.
+func TestLambdaMassIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		data := randomWorld(seed)
+		cfg := DefaultConfig()
+		cfg.K1, cfg.K2, cfg.MaxIters = 3, 3, 6
+		m1, _, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		mass := make([]float64, data.NNZ())
+		for i, cell := range data.Cells() {
+			mass[i] = cell.Score
+		}
+		cfg.LambdaMass = mass
+		m2, _, err := Train(data, cfg)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < m1.NumUsers(); u++ {
+			if m1.Lambda(u) != m2.Lambda(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLambdaMassValidation(t *testing.T) {
+	data := randomWorld(1)
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2 = 3, 3
+	cfg.LambdaMass = []float64{1, 2} // wrong length
+	if _, _, err := Train(data, cfg); err == nil {
+		t.Error("Train accepted mismatched LambdaMass")
+	}
+}

@@ -1,0 +1,522 @@
+// Package ttcam implements the topic-based variant of the Temporal
+// Context-Aware Mixture model (Section 3.2.2 of the paper). Unlike
+// ITCAM, the temporal context of interval t is a multinomial over K2
+// shared time-oriented topics, each of which is a multinomial over
+// items:
+//
+//	P(v|θ't) = Σ_x P(v|φ'x)·P(x|θ't)                          (Eq. 12)
+//
+// so the full likelihood is
+//
+//	P(v|u,t) = λu·Σ_z P(z|θu)P(v|φz) + (1−λu)·Σ_x P(x|θ't)P(v|φ'x).
+//
+// Parameters are learned with the EM updates of Equations (13)–(16)
+// (plus (8), (9), (11) for the user side). The E-step parallelizes over
+// users with per-worker sufficient-statistic slabs.
+//
+// Two extensions beyond the paper are included, both from its future
+// work list: an optional fixed background topic that absorbs noise
+// (Config.Background) and incremental fitting of a new interval's
+// temporal context against frozen topics (FitNewInterval).
+package ttcam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// lambdaClamp keeps mixing weights away from the degenerate endpoints.
+const lambdaClamp = 0.01
+
+// Config parameterizes TTCAM training.
+type Config struct {
+	// K1 and K2 are the numbers of user-oriented and time-oriented
+	// topics (the paper's defaults are 60 and 40).
+	K1 int
+	K2 int
+	// MaxIters bounds EM; Tol is the relative log-likelihood improvement
+	// under which training stops early.
+	MaxIters int
+	Tol      float64
+	// Seed drives the random initialization.
+	Seed int64
+	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	Workers int
+	// Smoothing is the additive epsilon for every multinomial
+	// normalization.
+	Smoothing float64
+	// Background, when positive, mixes a fixed empirical item
+	// distribution θB into the likelihood with this weight:
+	// P(v|u,t) = Background·θB(v) + (1−Background)·(TCAM mixture).
+	// This is the noise-filtering extension the paper lists as future
+	// work; 0 disables it.
+	Background float64
+	// Label overrides the model name (the weighted variant reports
+	// "W-TTCAM").
+	Label string
+	// LambdaMass optionally overrides the per-cell masses used by the
+	// mixing-weight update (Equation 11), aligned with the training
+	// cuboid's Cells() order. It exists as an ablation knob: training
+	// topics on the weighted cuboid of Equation (20) while estimating λ
+	// on the raw scores isolates the weighting scheme's effect on topic
+	// quality from its effect on mixing-weight calibration (on the
+	// synthetic worlds, Equation (20) applied verbatim — nil here —
+	// recovers the ground-truth λ distribution best).
+	LambdaMass []float64
+}
+
+// DefaultConfig returns the paper's default topic counts (Section 5.3.2)
+// with the harness's standard EM settings.
+func DefaultConfig() Config {
+	return Config{K1: 60, K2: 40, MaxIters: 50, Tol: 1e-5, Seed: 1, Smoothing: 1e-9}
+}
+
+func (c Config) validate(data *cuboid.Cuboid) error {
+	switch {
+	case c.K1 <= 0 || c.K2 <= 0:
+		return fmt.Errorf("ttcam: topic counts must be positive, got K1=%d K2=%d", c.K1, c.K2)
+	case c.MaxIters <= 0:
+		return fmt.Errorf("ttcam: MaxIters must be positive, got %d", c.MaxIters)
+	case c.Smoothing < 0:
+		return fmt.Errorf("ttcam: negative smoothing %v", c.Smoothing)
+	case c.Background < 0 || c.Background >= 1:
+		return fmt.Errorf("ttcam: Background %v outside [0,1)", c.Background)
+	}
+	if data.NNZ() == 0 {
+		return errors.New("ttcam: empty training cuboid")
+	}
+	if c.LambdaMass != nil && len(c.LambdaMass) != data.NNZ() {
+		return fmt.Errorf("ttcam: LambdaMass has %d entries for %d cells", len(c.LambdaMass), data.NNZ())
+	}
+	return nil
+}
+
+// Model is a trained TTCAM. Parameter slices are row-major.
+type Model struct {
+	label string
+
+	numUsers     int
+	numIntervals int
+	numItems     int
+	k1, k2       int
+
+	theta   []float64 // N×K1: P(z|θu)
+	phi     []float64 // K1×V: P(v|φz)
+	thetaTx []float64 // T×K2: P(x|θ't)
+	phiX    []float64 // K2×V: P(v|φ'x)
+	lambda  []float64 // N: λu
+
+	backgroundW float64   // λB; 0 when disabled
+	background  []float64 // V: θB, empirical item distribution
+}
+
+// Train fits TTCAM on the rating cuboid (or the weighted cuboid of
+// Equation 20).
+func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
+	var stats model.TrainStats
+	if err := cfg.validate(data); err != nil {
+		return nil, stats, err
+	}
+	n, T, v := data.NumUsers(), data.NumIntervals(), data.NumItems()
+	label := cfg.Label
+	if label == "" {
+		label = "TTCAM"
+	}
+	m := &Model{
+		label:        label,
+		numUsers:     n,
+		numIntervals: T,
+		numItems:     v,
+		k1:           cfg.K1,
+		k2:           cfg.K2,
+		theta:        make([]float64, n*cfg.K1),
+		phi:          make([]float64, cfg.K1*v),
+		thetaTx:      make([]float64, T*cfg.K2),
+		phiX:         make([]float64, cfg.K2*v),
+		lambda:       make([]float64, n),
+		backgroundW:  cfg.Background,
+	}
+	m.initialize(data, cfg.Seed)
+
+	workers := model.Workers(cfg.Workers)
+	acc := newAccumulators(m, workers)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		ll := m.emIteration(data, cfg, workers, acc)
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		if iter > 0 {
+			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
+				stats.Converged = true
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return m, stats, nil
+}
+
+func (m *Model) initialize(data *cuboid.Cuboid, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fillJitteredRows(rng, m.theta, m.k1)
+	fillJitteredRows(rng, m.phi, m.numItems)
+	fillJitteredRows(rng, m.thetaTx, m.k2)
+	fillJitteredRows(rng, m.phiX, m.numItems)
+	for u := range m.lambda {
+		m.lambda[u] = 0.5
+	}
+	if m.backgroundW > 0 {
+		m.background = make([]float64, m.numItems)
+		for _, cell := range data.Cells() {
+			m.background[cell.V] += cell.Score
+		}
+		model.NormalizeRows(m.background, m.numItems, 1e-9)
+	}
+}
+
+func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
+	for i := range data {
+		data[i] = 1 + 0.5*rng.Float64()
+	}
+	model.NormalizeRows(data, cols, 0)
+}
+
+type accumulators struct {
+	theta    []float64
+	lamNum   []float64
+	lamDen   []float64
+	llW      []float64
+	phiW     [][]float64
+	phiXW    [][]float64
+	thetaTxW [][]float64
+}
+
+func newAccumulators(m *Model, workers int) *accumulators {
+	a := &accumulators{
+		theta:    make([]float64, len(m.theta)),
+		lamNum:   make([]float64, m.numUsers),
+		lamDen:   make([]float64, m.numUsers),
+		llW:      make([]float64, workers),
+		phiW:     make([][]float64, workers),
+		phiXW:    make([][]float64, workers),
+		thetaTxW: make([][]float64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		a.phiW[w] = make([]float64, len(m.phi))
+		a.phiXW[w] = make([]float64, len(m.phiX))
+		a.thetaTxW[w] = make([]float64, len(m.thetaTx))
+	}
+	return a
+}
+
+func (a *accumulators) reset() {
+	zero(a.theta)
+	zero(a.lamNum)
+	zero(a.lamDen)
+	zero(a.llW)
+	for _, s := range a.phiW {
+		zero(s)
+	}
+	for _, s := range a.phiXW {
+		zero(s)
+	}
+	for _, s := range a.thetaTxW {
+		zero(s)
+	}
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// emIteration runs one E+M step, returning the log-likelihood under the
+// pre-update parameters.
+func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
+	acc.reset()
+	k1, k2, V := m.k1, m.k2, m.numItems
+	cells := data.Cells()
+	bw := m.backgroundW
+	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
+		phiAcc := acc.phiW[worker]
+		phiXAcc := acc.phiXW[worker]
+		thetaTxAcc := acc.thetaTxW[worker]
+		pz := make([]float64, k1)
+		px := make([]float64, k2)
+		var ll float64
+		for u := lo; u < hi; u++ {
+			lam := m.lambda[u]
+			thetaRow := m.theta[u*k1 : (u+1)*k1]
+			for _, ci := range data.UserCells(u) {
+				cell := cells[ci]
+				v, t, w := int(cell.V), int(cell.T), cell.Score
+
+				// E-step — Equations (4), (5) and (13).
+				var pu float64
+				for z := 0; z < k1; z++ {
+					p := thetaRow[z] * m.phi[z*V+v]
+					pz[z] = p
+					pu += p
+				}
+				thetaTxRow := m.thetaTx[t*k2 : (t+1)*k2]
+				var pt float64
+				for x := 0; x < k2; x++ {
+					p := thetaTxRow[x] * m.phiX[x*V+v]
+					px[x] = p
+					pt += p
+				}
+				mix := lam*pu + (1-lam)*pt
+				denom := mix
+				var pbg float64 // posterior mass of the background path
+				if bw > 0 {
+					denom = bw*m.background[v] + (1-bw)*mix
+					if denom <= 0 {
+						denom = 1e-300
+					}
+					pbg = bw * m.background[v] / denom
+				} else if denom <= 0 {
+					denom = 1e-300
+				}
+				ll += w * math.Log(denom)
+
+				// Mixture-path posteriors, discounted by the background.
+				var ps1 float64
+				if mix > 0 {
+					ps1 = (1 - pbg) * lam * pu / mix
+				}
+				ps0 := (1 - pbg) - ps1
+
+				// Accumulate numerators of Equations (8)–(9), (11),
+				// (15)–(16).
+				if pu > 0 && ps1 > 0 {
+					scale := w * ps1 / pu
+					for z := 0; z < k1; z++ {
+						c := scale * pz[z]
+						acc.theta[u*k1+z] += c
+						phiAcc[z*V+v] += c
+					}
+				}
+				if pt > 0 && ps0 > 0 {
+					scale := w * ps0 / pt
+					for x := 0; x < k2; x++ {
+						c := scale * px[x]
+						thetaTxAcc[t*k2+x] += c
+						phiXAcc[x*V+v] += c
+					}
+				}
+				lm := w
+				if cfg.LambdaMass != nil {
+					lm = cfg.LambdaMass[ci]
+				}
+				acc.lamNum[u] += lm * ps1
+				acc.lamDen[u] += lm * (ps1 + ps0)
+			}
+		}
+		acc.llW[worker] = ll
+	})
+
+	// M-step.
+	copy(m.theta, acc.theta)
+	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
+	copy(m.phi, model.MergeSlabs(acc.phiW))
+	model.NormalizeRows(m.phi, V, cfg.Smoothing)
+	copy(m.thetaTx, model.MergeSlabs(acc.thetaTxW))
+	model.NormalizeRows(m.thetaTx, k2, cfg.Smoothing)
+	copy(m.phiX, model.MergeSlabs(acc.phiXW))
+	model.NormalizeRows(m.phiX, V, cfg.Smoothing)
+	for u := 0; u < m.numUsers; u++ {
+		if acc.lamDen[u] > 0 {
+			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
+		}
+	}
+
+	var ll float64
+	for _, x := range acc.llW {
+		ll += x
+	}
+	return ll
+}
+
+func clampLambda(x float64) float64 {
+	if x < lambdaClamp {
+		return lambdaClamp
+	}
+	if x > 1-lambdaClamp {
+		return 1 - lambdaClamp
+	}
+	return x
+}
+
+// FitNewInterval estimates the temporal context θ' of a previously
+// unseen interval from its ratings alone, holding every other parameter
+// (topics, interests, mixing weights) frozen — the partial-EM update an
+// online deployment runs when a new interval opens. ratings maps item →
+// accumulated score observed so far in the new interval (with the user
+// unknown or mixed, the user path is dropped and only the temporal
+// mixture is fit). It returns the fitted P(x|θ') vector.
+func (m *Model) FitNewInterval(ratings map[int]float64, iters int) []float64 {
+	k2, V := m.k2, m.numItems
+	thetaNew := make([]float64, k2)
+	for x := range thetaNew {
+		thetaNew[x] = 1 / float64(k2)
+	}
+	if len(ratings) == 0 || iters <= 0 {
+		return thetaNew
+	}
+	acc := make([]float64, k2)
+	px := make([]float64, k2)
+	for it := 0; it < iters; it++ {
+		zero(acc)
+		for v, w := range ratings {
+			if v < 0 || v >= V || w <= 0 {
+				continue
+			}
+			var pt float64
+			for x := 0; x < k2; x++ {
+				p := thetaNew[x] * m.phiX[x*V+v]
+				px[x] = p
+				pt += p
+			}
+			if pt <= 0 {
+				continue
+			}
+			for x := 0; x < k2; x++ {
+				acc[x] += w * px[x] / pt
+			}
+		}
+		copy(thetaNew, acc)
+		model.NormalizeRows(thetaNew, k2, 1e-12)
+	}
+	return thetaNew
+}
+
+// Name returns the model label ("TTCAM" or "W-TTCAM").
+func (m *Model) Name() string { return m.label }
+
+// NumItems returns the item-catalog size.
+func (m *Model) NumItems() int { return m.numItems }
+
+// NumUsers returns the user count the model was trained on.
+func (m *Model) NumUsers() int { return m.numUsers }
+
+// NumIntervals returns the number of time intervals.
+func (m *Model) NumIntervals() int { return m.numIntervals }
+
+// K1 returns the number of user-oriented topics; K2 the time-oriented
+// count.
+func (m *Model) K1() int { return m.k1 }
+
+// K2 returns the number of time-oriented topics.
+func (m *Model) K2() int { return m.k2 }
+
+// Lambda returns λu (Figures 10–11 plot its distribution over users).
+func (m *Model) Lambda(u int) float64 { return m.lambda[u] }
+
+// UserInterest returns P(·|θu) over user-oriented topics. Callers must
+// not modify the slice.
+func (m *Model) UserInterest(u int) []float64 { return m.theta[u*m.k1 : (u+1)*m.k1] }
+
+// UserTopic returns P(·|φz), user-oriented topic z's item distribution.
+func (m *Model) UserTopic(z int) []float64 { return m.phi[z*m.numItems : (z+1)*m.numItems] }
+
+// TemporalContext returns P(·|θ't) over time-oriented topics.
+func (m *Model) TemporalContext(t int) []float64 { return m.thetaTx[t*m.k2 : (t+1)*m.k2] }
+
+// TimeTopic returns P(·|φ'x), time-oriented topic x's item distribution.
+func (m *Model) TimeTopic(x int) []float64 { return m.phiX[x*m.numItems : (x+1)*m.numItems] }
+
+// Score implements the TTCAM likelihood (Equations 1 and 12), including
+// the optional background mixture.
+func (m *Model) Score(u, t, v int) float64 {
+	var pu float64
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		pu += thetaRow[z] * m.phi[z*m.numItems+v]
+	}
+	var pt float64
+	ctxRow := m.TemporalContext(t)
+	for x := 0; x < m.k2; x++ {
+		pt += ctxRow[x] * m.phiX[x*m.numItems+v]
+	}
+	lam := m.lambda[u]
+	mix := lam*pu + (1-lam)*pt
+	if m.backgroundW > 0 {
+		return m.backgroundW*m.background[v] + (1-m.backgroundW)*mix
+	}
+	return mix
+}
+
+// ScoreAll fills scores[v] with Score(u, t, v) for every item in one
+// pass over the topic matrices.
+func (m *Model) ScoreAll(u, t int, scores []float64) {
+	if len(scores) != m.numItems {
+		panic(fmt.Sprintf("ttcam: ScoreAll buffer %d, want %d", len(scores), m.numItems))
+	}
+	w := m.QueryWeights(u, t)
+	for v := range scores {
+		scores[v] = 0
+	}
+	for z, wz := range w {
+		if wz == 0 {
+			continue
+		}
+		row := m.TopicItems(z)
+		for v := range scores {
+			scores[v] += wz * row[v]
+		}
+	}
+}
+
+// NumTopics returns the expanded topic-space size K = K1 + K2 of
+// Section 4.1 (plus one background pseudo-topic when enabled).
+func (m *Model) NumTopics() int {
+	k := m.k1 + m.k2
+	if m.backgroundW > 0 {
+		k++
+	}
+	return k
+}
+
+// QueryWeights returns ϑq = ⟨λu·θu, (1−λu)·θ't⟩ of Section 4.1 (scaled
+// by 1−λB with a trailing λB background entry when enabled).
+func (m *Model) QueryWeights(u, t int) []float64 {
+	out := make([]float64, m.NumTopics())
+	lam := m.lambda[u]
+	scale := 1.0
+	if m.backgroundW > 0 {
+		scale = 1 - m.backgroundW
+		out[m.k1+m.k2] = m.backgroundW
+	}
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		out[z] = scale * lam * thetaRow[z]
+	}
+	ctxRow := m.TemporalContext(t)
+	for x := 0; x < m.k2; x++ {
+		out[m.k1+x] = scale * (1 - lam) * ctxRow[x]
+	}
+	return out
+}
+
+// TopicItems returns ϕ_z̃ of Equation (21): user-oriented topics first,
+// then time-oriented topics, then the optional background.
+func (m *Model) TopicItems(z int) []float64 {
+	switch {
+	case z < m.k1:
+		return m.UserTopic(z)
+	case z < m.k1+m.k2:
+		return m.TimeTopic(z - m.k1)
+	default:
+		return m.background
+	}
+}
+
+var (
+	_ model.BulkScorer  = (*Model)(nil)
+	_ model.TopicScorer = (*Model)(nil)
+)

@@ -1,0 +1,305 @@
+package ttcam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// trendWorld mirrors the itcam test world: users 0..19 are
+// interest-driven (stable pet items 0..9, plus filler 10..19), users
+// 20..39 follow per-interval hot items 20..39.
+func trendWorld(tb testing.TB, seed int64) *cuboid.Cuboid {
+	tb.Helper()
+	const (
+		nUsers     = 40
+		nIntervals = 8
+		nItems     = 40
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := cuboid.NewBuilder(nUsers, nIntervals, nItems)
+	for u := 0; u < 20; u++ {
+		pet := u % 10
+		for t := 0; t < nIntervals; t++ {
+			b.MustAdd(u, t, pet, 1)
+			b.MustAdd(u, t, (pet+1)%10, 1)
+			if rng.Float64() < 0.3 {
+				b.MustAdd(u, t, 10+rng.Intn(10), 1)
+			}
+		}
+	}
+	for u := 20; u < 40; u++ {
+		for t := 0; t < nIntervals; t++ {
+			hot := 20 + t*2
+			b.MustAdd(u, t, hot, 1)
+			b.MustAdd(u, t, hot+1, 1)
+			if rng.Float64() < 0.3 {
+				b.MustAdd(u, t, rng.Intn(20), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func trainTrend(tb testing.TB, mod func(*Config)) (*Model, model.TrainStats) {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.K1 = 12
+	cfg.K2 = 8
+	cfg.MaxIters = 60
+	cfg.Workers = 2
+	if mod != nil {
+		mod(&cfg)
+	}
+	m, st, err := Train(trendWorld(tb, 7), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, st
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := trendWorld(t, 1)
+	tests := []struct {
+		name string
+		data *cuboid.Cuboid
+		mod  func(*Config)
+	}{
+		{"zero K1", good, func(c *Config) { c.K1 = 0 }},
+		{"zero K2", good, func(c *Config) { c.K2 = 0 }},
+		{"zero iters", good, func(c *Config) { c.MaxIters = 0 }},
+		{"negative smoothing", good, func(c *Config) { c.Smoothing = -1 }},
+		{"background 1", good, func(c *Config) { c.Background = 1 }},
+		{"negative background", good, func(c *Config) { c.Background = -0.1 }},
+		{"empty cuboid", cuboid.NewBuilder(2, 2, 2).Build(), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tt.mod != nil {
+				tt.mod(&cfg)
+			}
+			if _, _, err := Train(tt.data, cfg); err == nil {
+				t.Error("Train accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	for _, bg := range []float64{0, 0.1} {
+		_, st := trainTrend(t, func(c *Config) { c.Background = bg })
+		for i := 1; i < st.Iterations(); i++ {
+			prev, cur := st.LogLikelihood[i-1], st.LogLikelihood[i]
+			if cur < prev-math.Abs(prev)*1e-8-1e-8 {
+				t.Fatalf("bg=%v: log-likelihood decreased at iter %d: %v -> %v", bg, i, prev, cur)
+			}
+		}
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	m, _ := trainTrend(t, nil)
+	checkSimplex := func(name string, p []float64) {
+		t.Helper()
+		var sum float64
+		for _, x := range p {
+			if x < 0 {
+				t.Fatalf("%s has negative entry %v", name, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%s sums to %v", name, sum)
+		}
+	}
+	for u := 0; u < m.NumUsers(); u++ {
+		checkSimplex("theta_u", m.UserInterest(u))
+	}
+	for z := 0; z < m.K1(); z++ {
+		checkSimplex("phi_z", m.UserTopic(z))
+	}
+	for tt := 0; tt < m.NumIntervals(); tt++ {
+		checkSimplex("theta'_t", m.TemporalContext(tt))
+	}
+	for x := 0; x < m.K2(); x++ {
+		checkSimplex("phi'_x", m.TimeTopic(x))
+	}
+}
+
+func TestLambdaSeparatesPopulations(t *testing.T) {
+	m, _ := trainTrend(t, nil)
+	var interest, trend float64
+	for u := 0; u < 20; u++ {
+		interest += m.Lambda(u)
+	}
+	for u := 20; u < 40; u++ {
+		trend += m.Lambda(u)
+	}
+	if interest/20 <= trend/20 {
+		t.Errorf("mean λ interest-driven %v ≤ trend-driven %v", interest/20, trend/20)
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	for _, bg := range []float64{0, 0.15} {
+		m, _ := trainTrend(t, func(c *Config) { c.Background = bg })
+		scores := make([]float64, m.NumItems())
+		for _, q := range [][2]int{{0, 0}, {25, 3}, {39, 7}} {
+			u, tt := q[0], q[1]
+			m.ScoreAll(u, tt, scores)
+			for v := 0; v < m.NumItems(); v++ {
+				if want := m.Score(u, tt, v); math.Abs(scores[v]-want) > 1e-12 {
+					t.Fatalf("bg=%v: ScoreAll(%d,%d)[%d] = %v, Score = %v", bg, u, tt, v, scores[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopicDecompositionMatchesScore(t *testing.T) {
+	for _, bg := range []float64{0, 0.15} {
+		m, _ := trainTrend(t, func(c *Config) { c.Background = bg })
+		wantTopics := m.K1() + m.K2()
+		if bg > 0 {
+			wantTopics++
+		}
+		if m.NumTopics() != wantTopics {
+			t.Fatalf("NumTopics = %d, want %d", m.NumTopics(), wantTopics)
+		}
+		for _, q := range [][2]int{{3, 1}, {30, 5}} {
+			u, tt := q[0], q[1]
+			w := m.QueryWeights(u, tt)
+			var wsum float64
+			for _, x := range w {
+				wsum += x
+			}
+			if math.Abs(wsum-1) > 1e-9 {
+				t.Fatalf("query weights sum to %v", wsum)
+			}
+			for v := 0; v < m.NumItems(); v += 7 {
+				var s float64
+				for z, wz := range w {
+					if wz == 0 {
+						continue
+					}
+					s += wz * m.TopicItems(z)[v]
+				}
+				if want := m.Score(u, tt, v); math.Abs(s-want) > 1e-10 {
+					t.Fatalf("bg=%v: decomposition %v != Score %v at (u=%d,t=%d,v=%d)", bg, s, want, u, tt, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTrendUsersRankHotItems(t *testing.T) {
+	m, _ := trainTrend(t, nil)
+	hot4 := 20 + 4*2
+	if m.Score(25, 4, hot4) <= m.Score(25, 4, 15) {
+		t.Error("hot item of interval 4 not promoted for trend user at t=4")
+	}
+	if m.Score(0, 4, 0) <= m.Score(0, 4, hot4) {
+		t.Error("pet item of interest user not promoted over hot item")
+	}
+}
+
+func TestDeterministicAndParallelConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2 = 6, 4
+	cfg.MaxIters = 10
+	data := trendWorld(t, 3)
+	m1, st1, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, st2, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Final() != st2.Final() {
+		t.Errorf("same seed, different final LL: %v vs %v", st1.Final(), st2.Final())
+	}
+	cfg.Workers = 4
+	m4, _, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.phiX {
+		if math.Abs(m1.phiX[i]-m4.phiX[i]) > 1e-9 {
+			t.Fatalf("parallel phiX diverges at %d", i)
+		}
+	}
+	_ = m2
+}
+
+func TestFitNewInterval(t *testing.T) {
+	m, _ := trainTrend(t, nil)
+	// Find which time topic owns interval 4's hot pair, then feed a
+	// fresh pseudo-interval containing exactly that pair: the fitted θ'
+	// must concentrate on the same topic as the trained interval 4.
+	hot4 := 20 + 4*2
+	fitted := m.FitNewInterval(map[int]float64{hot4: 5, hot4 + 1: 5}, 30)
+	var sum float64
+	for _, x := range fitted {
+		if x < 0 {
+			t.Fatalf("fitted theta has negative entry %v", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fitted theta sums to %v", sum)
+	}
+	bestFit := argmax(fitted)
+	bestTrained := argmax(m.TemporalContext(4))
+	if bestFit != bestTrained {
+		t.Errorf("fitted interval picked topic %d, trained interval 4 uses %d", bestFit, bestTrained)
+	}
+	// Degenerate inputs return uniform.
+	uniform := m.FitNewInterval(nil, 10)
+	for _, x := range uniform {
+		if math.Abs(x-1/float64(m.K2())) > 1e-12 {
+			t.Fatalf("empty fit not uniform: %v", uniform)
+		}
+	}
+	// Out-of-range and non-positive entries are ignored, not fatal.
+	_ = m.FitNewInterval(map[int]float64{-1: 1, 10_000: 2, hot4: 0}, 5)
+}
+
+func argmax(xs []float64) int {
+	best, arg := math.Inf(-1), -1
+	for i, x := range xs {
+		if x > best {
+			best, arg = x, i
+		}
+	}
+	return arg
+}
+
+func TestBackgroundAbsorbsPopularItems(t *testing.T) {
+	// With a strong background, uniform-popular filler items should lean
+	// on the background rather than consuming topic mass, so time topics
+	// should concentrate more sharply (lower entropy) than without.
+	entropyOf := func(p []float64) float64 {
+		var h float64
+		for _, x := range p {
+			if x > 0 {
+				h -= x * math.Log(x)
+			}
+		}
+		return h
+	}
+	mPlain, _ := trainTrend(t, nil)
+	mBg, _ := trainTrend(t, func(c *Config) { c.Background = 0.2 })
+	var hPlain, hBg float64
+	for x := 0; x < mPlain.K2(); x++ {
+		hPlain += entropyOf(mPlain.TimeTopic(x))
+		hBg += entropyOf(mBg.TimeTopic(x))
+	}
+	if hBg > hPlain*1.1 {
+		t.Errorf("background topics not sharper: entropy %v vs plain %v", hBg, hPlain)
+	}
+}

@@ -1,0 +1,223 @@
+// Package ut implements the User-Topic baseline of Section 5.2: an
+// author-topic–style model in which items are generated only from user
+// interests, with a fixed background distribution for smoothing:
+//
+//	P(v|u) = λB·P(v|θB) + (1−λB)·Σ_z P(z|θu)P(v|φz)
+//
+// The model ignores temporal context entirely, which is exactly why the
+// paper uses it — it wins on interest-driven catalogs (MovieLens) and
+// loses on time-sensitive ones (Digg).
+package ut
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/model"
+)
+
+// Config parameterizes UT training.
+type Config struct {
+	// K is the number of user-oriented topics.
+	K int
+	// LambdaB is the fixed background mixing weight λB.
+	LambdaB float64
+	// MaxIters bounds EM; Tol is the early-stopping tolerance on
+	// relative log-likelihood improvement.
+	MaxIters int
+	Tol      float64
+	Seed     int64
+	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	Workers   int
+	Smoothing float64
+}
+
+// DefaultConfig returns the harness's standard UT configuration.
+func DefaultConfig() Config {
+	return Config{K: 60, LambdaB: 0.1, MaxIters: 50, Tol: 1e-5, Seed: 1, Smoothing: 1e-9}
+}
+
+func (c Config) validate(data *cuboid.Cuboid) error {
+	switch {
+	case c.K <= 0:
+		return fmt.Errorf("ut: K must be positive, got %d", c.K)
+	case c.LambdaB < 0 || c.LambdaB >= 1:
+		return fmt.Errorf("ut: LambdaB %v outside [0,1)", c.LambdaB)
+	case c.MaxIters <= 0:
+		return fmt.Errorf("ut: MaxIters must be positive")
+	case c.Smoothing < 0:
+		return fmt.Errorf("ut: negative smoothing %v", c.Smoothing)
+	}
+	if data.NNZ() == 0 {
+		return errors.New("ut: empty training cuboid")
+	}
+	return nil
+}
+
+// Model is a trained user-topic model.
+type Model struct {
+	numUsers int
+	numItems int
+	k        int
+	lambdaB  float64
+
+	theta      []float64 // N×K: P(z|θu)
+	phi        []float64 // K×V: P(v|φz)
+	background []float64 // V: θB
+}
+
+// Train fits the user-topic model. The cuboid's time dimension is
+// ignored (ratings aggregate across intervals).
+func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
+	var stats model.TrainStats
+	if err := cfg.validate(data); err != nil {
+		return nil, stats, err
+	}
+	n, v := data.NumUsers(), data.NumItems()
+	m := &Model{
+		numUsers:   n,
+		numItems:   v,
+		k:          cfg.K,
+		lambdaB:    cfg.LambdaB,
+		theta:      make([]float64, n*cfg.K),
+		phi:        make([]float64, cfg.K*v),
+		background: make([]float64, v),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jitterRows(rng, m.theta, cfg.K)
+	jitterRows(rng, m.phi, v)
+	for _, cell := range data.Cells() {
+		m.background[cell.V] += cell.Score
+	}
+	model.NormalizeRows(m.background, v, 1e-9)
+
+	workers := model.Workers(cfg.Workers)
+	thetaAcc := make([]float64, len(m.theta))
+	phiW := make([][]float64, workers)
+	for w := range phiW {
+		phiW[w] = make([]float64, len(m.phi))
+	}
+	llW := make([]float64, workers)
+	cells := data.Cells()
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range thetaAcc {
+			thetaAcc[i] = 0
+		}
+		for _, s := range phiW {
+			for i := range s {
+				s[i] = 0
+			}
+		}
+		model.ParallelRanges(n, workers, func(worker, lo, hi int) {
+			phiAcc := phiW[worker]
+			pz := make([]float64, cfg.K)
+			var ll float64
+			for u := lo; u < hi; u++ {
+				thetaRow := m.theta[u*cfg.K : (u+1)*cfg.K]
+				for _, ci := range data.UserCells(u) {
+					cell := cells[ci]
+					vv, w := int(cell.V), cell.Score
+					var pu float64
+					for z := 0; z < cfg.K; z++ {
+						p := thetaRow[z] * m.phi[z*v+vv]
+						pz[z] = p
+						pu += p
+					}
+					denom := cfg.LambdaB*m.background[vv] + (1-cfg.LambdaB)*pu
+					if denom <= 0 {
+						denom = 1e-300
+					}
+					ll += w * math.Log(denom)
+					// Posterior mass of the topic path, split across z.
+					if pu > 0 {
+						pTopic := (1 - cfg.LambdaB) * pu / denom
+						scale := w * pTopic / pu
+						for z := 0; z < cfg.K; z++ {
+							c := scale * pz[z]
+							thetaAcc[u*cfg.K+z] += c
+							phiAcc[z*v+vv] += c
+						}
+					}
+				}
+			}
+			llW[worker] = ll
+		})
+		copy(m.theta, thetaAcc)
+		model.NormalizeRows(m.theta, cfg.K, cfg.Smoothing)
+		copy(m.phi, model.MergeSlabs(phiW))
+		model.NormalizeRows(m.phi, v, cfg.Smoothing)
+
+		var ll float64
+		for _, x := range llW {
+			ll += x
+		}
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		if iter > 0 {
+			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
+				stats.Converged = true
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return m, stats, nil
+}
+
+func jitterRows(rng *rand.Rand, data []float64, cols int) {
+	for i := range data {
+		data[i] = 1 + 0.5*rng.Float64()
+	}
+	model.NormalizeRows(data, cols, 0)
+}
+
+// Name returns "UT".
+func (m *Model) Name() string { return "UT" }
+
+// NumItems returns the item-catalog size.
+func (m *Model) NumItems() int { return m.numItems }
+
+// K returns the number of topics.
+func (m *Model) K() int { return m.k }
+
+// UserInterest returns P(·|θu). Callers must not modify the slice.
+func (m *Model) UserInterest(u int) []float64 { return m.theta[u*m.k : (u+1)*m.k] }
+
+// Topic returns P(·|φz). Callers must not modify the slice.
+func (m *Model) Topic(z int) []float64 { return m.phi[z*m.numItems : (z+1)*m.numItems] }
+
+// Score returns P(v|u); the interval argument is ignored by design.
+func (m *Model) Score(u, _, v int) float64 {
+	var pu float64
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k; z++ {
+		pu += thetaRow[z] * m.phi[z*m.numItems+v]
+	}
+	return m.lambdaB*m.background[v] + (1-m.lambdaB)*pu
+}
+
+// ScoreAll fills scores[v] = P(v|u) for every item.
+func (m *Model) ScoreAll(u, _ int, scores []float64) {
+	if len(scores) != m.numItems {
+		panic(fmt.Sprintf("ut: ScoreAll buffer %d, want %d", len(scores), m.numItems))
+	}
+	for v := range scores {
+		scores[v] = m.lambdaB * m.background[v]
+	}
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k; z++ {
+		w := (1 - m.lambdaB) * thetaRow[z]
+		if w == 0 {
+			continue
+		}
+		row := m.Topic(z)
+		for v := range scores {
+			scores[v] += w * row[v]
+		}
+	}
+}
+
+var _ model.BulkScorer = (*Model)(nil)

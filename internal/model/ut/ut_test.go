@@ -1,0 +1,128 @@
+package ut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+)
+
+// interestWorld: each user sticks to a small pet-item set across all
+// intervals.
+func interestWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(4))
+	b := cuboid.NewBuilder(30, 6, 30)
+	for u := 0; u < 30; u++ {
+		pet := (u % 6) * 5
+		for t := 0; t < 6; t++ {
+			b.MustAdd(u, t, pet, 1)
+			b.MustAdd(u, t, pet+1, 1)
+			if rng.Float64() < 0.3 {
+				b.MustAdd(u, t, rng.Intn(30), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func trainUT(tb testing.TB) *Model {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.MaxIters = 40
+	cfg.Workers = 2
+	m, _, err := Train(interestWorld(tb), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := interestWorld(t)
+	bad := []func(*Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.LambdaB = 1 },
+		func(c *Config) { c.LambdaB = -0.1 },
+		func(c *Config) { c.MaxIters = 0 },
+		func(c *Config) { c.Smoothing = -1 },
+	}
+	for i, mod := range bad {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if _, _, err := Train(good, cfg); err == nil {
+			t.Errorf("case %d: Train accepted invalid config", i)
+		}
+	}
+	if _, _, err := Train(cuboid.NewBuilder(1, 1, 1).Build(), DefaultConfig()); err == nil {
+		t.Error("Train accepted empty cuboid")
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.MaxIters = 40
+	_, st, err := Train(interestWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < st.Iterations(); i++ {
+		if st.LogLikelihood[i] < st.LogLikelihood[i-1]-math.Abs(st.LogLikelihood[i-1])*1e-8 {
+			t.Fatalf("LL decreased at iter %d", i)
+		}
+	}
+}
+
+func TestScoreIgnoresTime(t *testing.T) {
+	m := trainUT(t)
+	for v := 0; v < m.NumItems(); v += 5 {
+		if m.Score(3, 0, v) != m.Score(3, 5, v) {
+			t.Fatalf("UT score depends on interval at v=%d", v)
+		}
+	}
+}
+
+func TestPetItemsOutrankOthers(t *testing.T) {
+	m := trainUT(t)
+	// User 0's pets are items 0 and 1.
+	if m.Score(0, 0, 0) <= m.Score(0, 0, 17) {
+		t.Error("pet item not promoted for its user")
+	}
+	// User 7 (pets 5,6) should rank item 5 over item 0.
+	if m.Score(7, 0, 5) <= m.Score(7, 0, 0) {
+		t.Error("user 7's pet not promoted over user 0's pet")
+	}
+}
+
+func TestScoreAllMatchesScore(t *testing.T) {
+	m := trainUT(t)
+	scores := make([]float64, m.NumItems())
+	m.ScoreAll(11, 2, scores)
+	for v := range scores {
+		if want := m.Score(11, 2, v); math.Abs(scores[v]-want) > 1e-12 {
+			t.Fatalf("ScoreAll[%d] = %v, Score = %v", v, scores[v], want)
+		}
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	m := trainUT(t)
+	sum := func(p []float64) float64 {
+		var s float64
+		for _, x := range p {
+			s += x
+		}
+		return s
+	}
+	for z := 0; z < m.K(); z++ {
+		if s := sum(m.Topic(z)); math.Abs(s-1) > 1e-6 {
+			t.Fatalf("topic %d sums to %v", z, s)
+		}
+	}
+	if s := sum(m.UserInterest(4)); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("interest sums to %v", s)
+	}
+}

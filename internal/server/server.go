@@ -1,0 +1,263 @@
+// Package server exposes a trained TCAM bundle as an HTTP JSON API —
+// the online-deployment surface of the paper's Section 4: temporal
+// top-k queries answered by the Threshold Algorithm over the
+// precomputed per-topic index.
+//
+// Endpoints:
+//
+//	GET /healthz                  liveness + model metadata
+//	GET /recommend?user=&time=&k= temporal top-k for a user at a time
+//	GET /topics/{z}?n=            top items of an expanded topic
+//	GET /users/{id}/lambda        the user's learned mixing weight
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tcam/internal/index"
+	"tcam/internal/topk"
+)
+
+// Server routes recommendation traffic onto a loaded bundle. It is safe
+// for concurrent use.
+type Server struct {
+	bundle  *index.Bundle
+	idx     *topk.Index
+	userIdx map[string]int
+	mux     *http.ServeMux
+}
+
+// New builds a Server (and its TA index) from a bundle.
+func New(b *index.Bundle) (*Server, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		bundle:  b,
+		idx:     b.BuildIndex(),
+		userIdx: make(map[string]int, len(b.Users)),
+		mux:     http.NewServeMux(),
+	}
+	for u, name := range b.Users {
+		s.userIdx[name] = u
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/topics/", s.handleTopic)
+	s.mux.HandleFunc("/users/", s.handleUser)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status    string `json:"status"`
+	ModelKind string `json:"model_kind"`
+	Users     int    `json:"users"`
+	Items     int    `json:"items"`
+	Intervals int    `json:"intervals"`
+	Topics    int    `json:"topics"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "ok",
+		ModelKind: string(s.bundle.Kind),
+		Users:     len(s.bundle.Users),
+		Items:     len(s.bundle.Items),
+		Intervals: s.bundle.Grid.Num,
+		Topics:    s.bundle.Scorer().NumTopics(),
+	})
+}
+
+// recommendation is one entry of the /recommend payload.
+type recommendation struct {
+	Item  string  `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// recommendResponse is the /recommend payload.
+type recommendResponse struct {
+	User            string           `json:"user"`
+	Interval        int              `json:"interval"`
+	Recommendations []recommendation `json:"recommendations"`
+	ItemsExamined   int              `json:"items_examined"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	userID := q.Get("user")
+	u, ok := s.userIdx[userID]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown user %q", userID))
+		return
+	}
+	when, err := strconv.ParseInt(q.Get("time"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "time must be an integer timestamp in dataset ticks")
+		return
+	}
+	k := 10
+	if raw := q.Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k <= 0 || k > 1000 {
+			httpError(w, http.StatusBadRequest, "k must be in [1,1000]")
+			return
+		}
+	}
+	var exclude topk.Exclude
+	if raw := q.Get("exclude"); raw != "" {
+		banned := map[int]bool{}
+		itemIdx := s.itemIndex()
+		for _, id := range strings.Split(raw, ",") {
+			if v, ok := itemIdx[id]; ok {
+				banned[v] = true
+			}
+		}
+		exclude = func(v int) bool { return banned[v] }
+	}
+	t := s.bundle.Grid.IntervalOf(when)
+	results, st := s.idx.Query(s.bundle.Scorer(), u, t, k, exclude)
+	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: st.ItemsExamined}
+	for _, res := range results {
+		resp.Recommendations = append(resp.Recommendations, recommendation{
+			Item:  s.bundle.Items[res.Item],
+			Score: res.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topicResponse is the /topics/{z} payload.
+type topicResponse struct {
+	Topic    int              `json:"topic"`
+	Kind     string           `json:"kind"`
+	TopItems []recommendation `json:"top_items"`
+}
+
+func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/topics/")
+	z, err := strconv.Atoi(raw)
+	scorer := s.bundle.Scorer()
+	if err != nil || z < 0 || z >= scorer.NumTopics() {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("topic must be in [0,%d)", scorer.NumTopics()))
+		return
+	}
+	n := 10
+	if rawN := r.URL.Query().Get("n"); rawN != "" {
+		n, err = strconv.Atoi(rawN)
+		if err != nil || n <= 0 || n > 1000 {
+			httpError(w, http.StatusBadRequest, "n must be in [1,1000]")
+			return
+		}
+	}
+	weights := scorer.TopicItems(z)
+	top, _ := topk.BruteForce(weightModel{weights}, 0, 0, n, nil)
+	resp := topicResponse{Topic: z, Kind: s.topicKind(z)}
+	for _, res := range top {
+		resp.TopItems = append(resp.TopItems, recommendation{Item: s.bundle.Items[res.Item], Score: res.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topicKind labels an expanded-topic index as user- or time-oriented.
+func (s *Server) topicKind(z int) string {
+	switch s.bundle.Kind {
+	case index.KindTTCAM:
+		if z < s.bundle.TTCAM.K1() {
+			return "user-oriented"
+		}
+		if z < s.bundle.TTCAM.K1()+s.bundle.TTCAM.K2() {
+			return "time-oriented"
+		}
+		return "background"
+	default:
+		if z < s.bundle.ITCAM.K1() {
+			return "user-oriented"
+		}
+		return "interval-context"
+	}
+}
+
+// lambdaResponse is the /users/{id}/lambda payload.
+type lambdaResponse struct {
+	User string `json:"user"`
+	// Lambda is the personal-interest influence probability λu; the
+	// temporal-context influence is 1−λu.
+	Lambda float64 `json:"lambda"`
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/users/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[1] != "lambda" {
+		httpError(w, http.StatusNotFound, "want /users/{id}/lambda")
+		return
+	}
+	u, ok := s.userIdx[parts[0]]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown user %q", parts[0]))
+		return
+	}
+	var lambda float64
+	switch s.bundle.Kind {
+	case index.KindTTCAM:
+		lambda = s.bundle.TTCAM.Lambda(u)
+	default:
+		lambda = s.bundle.ITCAM.Lambda(u)
+	}
+	writeJSON(w, http.StatusOK, lambdaResponse{User: parts[0], Lambda: lambda})
+}
+
+// itemIndex lazily materializes the item-ID lookup (only the exclude
+// parameter needs it).
+func (s *Server) itemIndex() map[string]int {
+	idx := make(map[string]int, len(s.bundle.Items))
+	for v, name := range s.bundle.Items {
+		idx[name] = v
+	}
+	return idx
+}
+
+// weightModel ranks a bare weight vector through the topk machinery.
+type weightModel struct{ weights []float64 }
+
+func (m weightModel) Name() string              { return "topic" }
+func (m weightModel) NumItems() int             { return len(m.weights) }
+func (m weightModel) Score(_, _, v int) float64 { return m.weights[v] }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, payload interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(payload)
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/dataset"
+	"tcam/internal/index"
+	"tcam/internal/model/ttcam"
+)
+
+func testServer(tb testing.TB) (*Server, *index.Bundle) {
+	tb.Helper()
+	b := cuboid.NewBuilder(6, 3, 12)
+	for u := 0; u < 6; u++ {
+		for t := 0; t < 3; t++ {
+			b.MustAdd(u, t, (u*2+t)%12, 1)
+			b.MustAdd(u, t, (t*4)%12, 1)
+		}
+	}
+	cfg := ttcam.DefaultConfig()
+	cfg.K1, cfg.K2, cfg.MaxIters = 4, 3, 15
+	m, _, err := ttcam.Train(b.Build(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	users := make([]string, 6)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%d", i)
+	}
+	items := make([]string, 12)
+	for i := range items {
+		items[i] = fmt.Sprintf("item-%d", i)
+	}
+	bundle := index.NewTTCAM(m, dataset.TimeGrid{Origin: 100, Length: 10, Num: 3}, users, items)
+	srv, err := New(bundle)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv, bundle
+}
+
+func get(t *testing.T, srv *Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Users != 6 || h.Items != 12 || h.Intervals != 3 || h.Topics != 7 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := get(t, srv, "/recommend?user=user-2&time=115&k=4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var r recommendResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Interval != 1 {
+		t.Errorf("interval = %d, want 1 (time 115 on grid origin 100/len 10)", r.Interval)
+	}
+	if len(r.Recommendations) != 4 {
+		t.Fatalf("got %d recommendations", len(r.Recommendations))
+	}
+	for i := 1; i < len(r.Recommendations); i++ {
+		if r.Recommendations[i].Score > r.Recommendations[i-1].Score {
+			t.Error("recommendations not sorted")
+		}
+	}
+	if r.ItemsExamined <= 0 {
+		t.Error("items examined not reported")
+	}
+}
+
+func TestRecommendExclude(t *testing.T) {
+	srv, _ := testServer(t)
+	_, body := get(t, srv, "/recommend?user=user-2&time=115&k=3")
+	var base recommendResponse
+	if err := json.Unmarshal(body, &base); err != nil {
+		t.Fatal(err)
+	}
+	first := base.Recommendations[0].Item
+	_, body = get(t, srv, "/recommend?user=user-2&time=115&k=3&exclude="+first+",bogus")
+	var filtered recommendResponse
+	if err := json.Unmarshal(body, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range filtered.Recommendations {
+		if rec.Item == first {
+			t.Error("excluded item recommended")
+		}
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	tests := []struct {
+		path string
+		code int
+	}{
+		{"/recommend?user=nobody&time=1", http.StatusNotFound},
+		{"/recommend?user=user-1&time=abc", http.StatusBadRequest},
+		{"/recommend?user=user-1&time=1&k=0", http.StatusBadRequest},
+		{"/recommend?user=user-1&time=1&k=99999", http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		resp, _ := get(t, srv, tt.path)
+		if resp.StatusCode != tt.code {
+			t.Errorf("%s: status %d, want %d", tt.path, resp.StatusCode, tt.code)
+		}
+	}
+}
+
+func TestTopics(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := get(t, srv, "/topics/0?n=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var tr topicResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != "user-oriented" || len(tr.TopItems) != 3 {
+		t.Errorf("topic response = %+v", tr)
+	}
+	resp, body = get(t, srv, "/topics/5")
+	var tr2 topicResponse
+	if err := json.Unmarshal(body, &tr2); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Kind != "time-oriented" {
+		t.Errorf("topic 5 kind = %q (K1=4)", tr2.Kind)
+	}
+	if resp, _ := get(t, srv, "/topics/99"); resp.StatusCode != http.StatusNotFound {
+		t.Error("out-of-range topic accepted")
+	}
+	if resp, _ := get(t, srv, "/topics/abc"); resp.StatusCode != http.StatusNotFound {
+		t.Error("non-numeric topic accepted")
+	}
+}
+
+func TestUserLambda(t *testing.T) {
+	srv, bundle := testServer(t)
+	resp, body := get(t, srv, "/users/user-3/lambda")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var lr lambdaResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Lambda != bundle.TTCAM.Lambda(3) {
+		t.Errorf("lambda = %v, want %v", lr.Lambda, bundle.TTCAM.Lambda(3))
+	}
+	if resp, _ := get(t, srv, "/users/nobody/lambda"); resp.StatusCode != http.StatusNotFound {
+		t.Error("unknown user accepted")
+	}
+	if resp, _ := get(t, srv, "/users/user-3/other"); resp.StatusCode != http.StatusNotFound {
+		t.Error("unknown subresource accepted")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/healthz", "/recommend", "/topics/0", "/users/user-1/lambda"} {
+		resp, err := http.Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestNewRejectsBrokenBundle(t *testing.T) {
+	_, bundle := testServer(t)
+	bundle.Items = bundle.Items[:2]
+	if _, err := New(bundle); err == nil {
+		t.Error("New accepted a broken bundle")
+	}
+}

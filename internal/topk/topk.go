@@ -1,0 +1,299 @@
+// Package topk implements the paper's Section 4 query processing for
+// temporal top-k recommendation: a brute-force ranker that scores every
+// item, and the extended Threshold Algorithm (Algorithm 1, after Fagin
+// et al.) that answers queries from K pre-sorted per-topic item lists,
+// terminating as soon as the k-th best score provably beats every
+// unseen item.
+//
+// TA applies to any model exposing the monotone decomposition of
+// Equation (22) — S(u,t,v) = Σ_z̃ ϑ_qz̃·ϕ_z̃v with non-negative weights —
+// which the model.TopicScorer interface captures. BPTF's trilinear form
+// has signed factors and therefore no such decomposition, which is why
+// the paper (and this package) can only rank it brute-force.
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tcam/internal/model"
+)
+
+// Result is one recommended item with its ranking score.
+type Result struct {
+	Item  int
+	Score float64
+}
+
+// Stats reports how much work a query did — the quantity Figure 8 and
+// the TA ablation measure.
+type Stats struct {
+	// ItemsExamined counts distinct items whose full score was computed.
+	ItemsExamined int
+	// ListPops counts entries consumed from the sorted lists (TA only).
+	ListPops int
+}
+
+// Exclude filters candidate items; a nil Exclude admits everything. The
+// evaluation protocol uses it to keep a user's training items out of
+// their recommendations.
+type Exclude func(item int) bool
+
+// BruteForce ranks every item with the model and returns the top k by
+// score (ties broken by ascending item index). It uses the model's bulk
+// scorer when available.
+func BruteForce(r model.Recommender, u, t, k int, exclude Exclude) ([]Result, Stats) {
+	st := Stats{}
+	if k <= 0 {
+		return nil, st
+	}
+	n := r.NumItems()
+	scores := make([]float64, n)
+	if bulk, ok := r.(model.BulkScorer); ok {
+		bulk.ScoreAll(u, t, scores)
+	} else {
+		for v := 0; v < n; v++ {
+			scores[v] = r.Score(u, t, v)
+		}
+	}
+	st.ItemsExamined = n
+	h := newResultHeap(k)
+	for v := 0; v < n; v++ {
+		if exclude != nil && exclude(v) {
+			continue
+		}
+		h.offer(Result{Item: v, Score: scores[v]})
+	}
+	return h.sorted(), st
+}
+
+// Index holds the K sorted per-topic item lists of Section 4.2 plus a
+// transposed ϕ table for O(K) full-score evaluation. Building is
+// O(K·V·logV); queries are read-only and safe for concurrent use.
+type Index struct {
+	numTopics int
+	numItems  int
+	lists     [][]entry
+	byItem    []float64 // V×K transposed topic weights: ϕ_zv at [v*K+z]
+}
+
+type entry struct {
+	item   int32
+	weight float64
+}
+
+// BuildIndex precomputes the sorted lists (and the transposed weight
+// table) for every topic of ts. Zero-weight entries are kept: the lists
+// must cover the catalog for the threshold bound to hold as k grows.
+func BuildIndex(ts model.TopicScorer) *Index {
+	k, v := ts.NumTopics(), ts.NumItems()
+	ix := &Index{
+		numTopics: k,
+		numItems:  v,
+		lists:     make([][]entry, k),
+		byItem:    make([]float64, v*k),
+	}
+	for z := 0; z < k; z++ {
+		weights := ts.TopicItems(z)
+		list := make([]entry, v)
+		for item := 0; item < v; item++ {
+			list[item] = entry{item: int32(item), weight: weights[item]}
+			ix.byItem[item*k+z] = weights[item]
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].weight != list[b].weight {
+				return list[a].weight > list[b].weight
+			}
+			return list[a].item < list[b].item
+		})
+		ix.lists[z] = list
+	}
+	return ix
+}
+
+// NumTopics returns K, the number of sorted lists.
+func (ix *Index) NumTopics() int { return ix.numTopics }
+
+// NumItems returns the catalog size the index was built over.
+func (ix *Index) NumItems() int { return ix.numItems }
+
+// Score computes S(u,t,v) = Σ_z ϑ_z·ϕ_zv for a query-weight vector, in
+// O(K) via the transposed table.
+func (ix *Index) Score(query []float64, item int) float64 {
+	row := ix.byItem[item*ix.numTopics : (item+1)*ix.numTopics]
+	var s float64
+	for z, w := range query {
+		if w != 0 {
+			s += w * row[z]
+		}
+	}
+	return s
+}
+
+// Query answers the temporal top-k query (u, t) with the extended
+// Threshold Algorithm. ts must be the scorer the index was built from
+// (only QueryWeights is consulted). The result set and scores match
+// BruteForce exactly (ties broken by ascending item index), but the
+// algorithm stops after examining only as many items as the threshold
+// bound requires.
+func (ix *Index) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Result, Stats) {
+	return ix.QueryWeights(ts.QueryWeights(u, t), k, exclude)
+}
+
+// QueryWeights is Query for callers that already hold the ϑq vector
+// (e.g. a server that caches per-user query vectors).
+func (ix *Index) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
+	st := Stats{}
+	if k <= 0 {
+		return nil, st
+	}
+	if len(query) != ix.numTopics {
+		panic(fmt.Sprintf("topk: query weights length %d, index has %d topics", len(query), ix.numTopics))
+	}
+
+	// Cursor position per topic; exhausted or zero-weight lists excluded
+	// from the priority queue and the threshold.
+	pos := make([]int, ix.numTopics)
+	pq := &listHeap{}
+	for z, w := range query {
+		if w > 0 && len(ix.lists[z]) > 0 {
+			heap.Push(pq, listRef{topic: z, priority: ix.Score(query, int(ix.lists[z][0].item))})
+		} else {
+			pos[z] = len(ix.lists[z])
+		}
+	}
+	if pq.Len() == 0 {
+		return nil, st
+	}
+
+	seen := make([]bool, ix.numItems)
+	results := newResultHeap(k)
+	threshold := ix.threshold(query, pos)
+
+	for pq.Len() > 0 {
+		// Early termination (Lines 18–21 of Algorithm 1): the k-th
+		// result beats every unseen item's best possible score. Strict
+		// inequality keeps ties exact: an unseen item could equal the
+		// threshold, and the deterministic tie-break might prefer it.
+		if results.Len() == k && results.min().Score > threshold {
+			break
+		}
+		ref := heap.Pop(pq).(listRef)
+		z := ref.topic
+		list := ix.lists[z]
+		item := int(list[pos[z]].item)
+		st.ListPops++
+		if !seen[item] {
+			seen[item] = true
+			if exclude == nil || !exclude(item) {
+				st.ItemsExamined++
+				results.offer(Result{Item: item, Score: ix.Score(query, item)})
+			}
+		}
+		// Advance this list's cursor and re-queue it (Lines 28–33).
+		pos[z]++
+		if pos[z] < len(list) {
+			ref.priority = ix.Score(query, int(list[pos[z]].item))
+			heap.Push(pq, ref)
+		}
+		threshold = ix.threshold(query, pos)
+	}
+	return results.sorted(), st
+}
+
+// threshold computes S_TA (Equation 23): the maximum possible score of
+// any unexamined item, aggregating each active list's current head
+// weight.
+func (ix *Index) threshold(query []float64, pos []int) float64 {
+	var s float64
+	for z, w := range query {
+		if w <= 0 || pos[z] >= len(ix.lists[z]) {
+			continue
+		}
+		s += w * ix.lists[z][pos[z]].weight
+	}
+	return s
+}
+
+// listRef is one sorted list in the priority queue, keyed by the full
+// ranking score of its head item.
+type listRef struct {
+	topic    int
+	priority float64
+}
+
+// listHeap is a max-heap of listRefs (ties broken by topic index for
+// determinism).
+type listHeap []listRef
+
+func (h listHeap) Len() int { return len(h) }
+func (h listHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].topic < h[b].topic
+}
+func (h listHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *listHeap) Push(x interface{}) { *h = append(*h, x.(listRef)) }
+func (h *listHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// resultHeap keeps the best k results as a min-heap on (score, -item):
+// the root is the current k-th best, evicted when something better
+// arrives. Ties prefer smaller item indices, matching BruteForce.
+type resultHeap struct {
+	k     int
+	items []Result
+}
+
+func newResultHeap(k int) *resultHeap { return &resultHeap{k: k} }
+
+func (h *resultHeap) Len() int { return len(h.items) }
+func (h *resultHeap) Less(a, b int) bool {
+	if h.items[a].Score != h.items[b].Score {
+		return h.items[a].Score < h.items[b].Score
+	}
+	return h.items[a].Item > h.items[b].Item
+}
+func (h *resultHeap) Swap(a, b int)      { h.items[a], h.items[b] = h.items[b], h.items[a] }
+func (h *resultHeap) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// min returns the current k-th best result. Only valid when Len() > 0.
+func (h *resultHeap) min() Result { return h.items[0] }
+
+// offer inserts r, evicting the worst element when the heap is full and
+// r beats it.
+func (h *resultHeap) offer(r Result) {
+	if len(h.items) < h.k {
+		heap.Push(h, r)
+		return
+	}
+	worst := h.items[0]
+	if r.Score > worst.Score || (r.Score == worst.Score && r.Item < worst.Item) {
+		h.items[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into descending-score (then ascending-item)
+// order.
+func (h *resultHeap) sorted() []Result {
+	out := make([]Result, len(h.items))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package weighting implements the paper's item-weighting scheme
+// (Section 3.3): inverse user frequency iuf(v) = log(N / N(v))
+// (Equation 17), the bursty degree B(v,t) = (Nt(v)/Nt)·(N/N(v))
+// (Equation 18), their product w(v,t) (Equation 19), and the weighted
+// rating cuboid C̄[u,t,v] = C[u,t,v]·w(v,t) (Equation 20) on which the
+// W-ITCAM and W-TTCAM variants are trained.
+//
+// The scheme demotes long-standing popular items — which convey little
+// about either a user's intrinsic interest or a moment's public attention
+// — and promotes salient (rarely rated) and bursty (interval-concentrated)
+// items, improving the quality of both topic families.
+package weighting
+
+import (
+	"math"
+
+	"tcam/internal/cuboid"
+)
+
+// Mode selects which factors of Equation (19) the scheme applies. The
+// paper uses Combined; the other modes exist for the ablation study.
+type Mode int
+
+const (
+	// Combined applies w(v,t) = iuf(v) × B(v,t) — Equation (19).
+	Combined Mode = iota
+	// IUFOnly applies only the inverse-user-frequency factor.
+	IUFOnly
+	// BurstOnly applies only the bursty-degree factor.
+	BurstOnly
+)
+
+// String returns the ablation label of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Combined:
+		return "iuf×burst"
+	case IUFOnly:
+		return "iuf-only"
+	case BurstOnly:
+		return "burst-only"
+	default:
+		return "unknown"
+	}
+}
+
+// Scheme holds the precomputed per-item and per-(item, interval)
+// statistics needed to weight a cuboid.
+type Scheme struct {
+	mode Mode
+
+	n         float64         // total users with ≥1 rating
+	itemUsers []int           // N(v)
+	intUsers  []int           // Nt
+	ntv       []map[int32]int // Nt(v) per interval
+}
+
+// New precomputes the weighting statistics of c under the given mode.
+func New(c *cuboid.Cuboid, mode Mode) *Scheme {
+	st := cuboid.ComputeStats(c)
+	return &Scheme{
+		mode:      mode,
+		n:         float64(st.RatedUsers),
+		itemUsers: st.ItemUsers,
+		intUsers:  st.IntervalUsers,
+		ntv:       cuboid.ItemIntervalUsers(c),
+	}
+}
+
+// IUF returns the inverse user frequency of item v — Equation (17). An
+// item rated by every user gets 0; an unrated item gets log N (its
+// hypothetical first rating would be maximally salient).
+func (s *Scheme) IUF(v int) float64 {
+	nv := float64(s.itemUsers[v])
+	if nv <= 0 {
+		nv = 1
+	}
+	iuf := math.Log(s.n / nv)
+	if iuf < 0 {
+		return 0
+	}
+	return iuf
+}
+
+// Burst returns the bursty degree B(v, t) of item v during interval t —
+// Equation (18). A value above 1 means v attracted a larger share of the
+// interval's active users than its overall share; an item never rated in
+// t gets 0.
+func (s *Scheme) Burst(v, t int) float64 {
+	ntv := float64(s.ntv[t][int32(v)])
+	if ntv == 0 {
+		return 0
+	}
+	nt := float64(s.intUsers[t])
+	nv := float64(s.itemUsers[v])
+	if nt == 0 || nv == 0 {
+		return 0
+	}
+	return (ntv / nt) * (s.n / nv)
+}
+
+// Weight returns w(v, t) under the scheme's mode — Equation (19) for
+// Combined. Weights are clamped at a small positive floor when the raw
+// factor vanishes but the cell exists, so observed ratings are demoted
+// rather than silently deleted.
+func (s *Scheme) Weight(v, t int) float64 {
+	const floor = 1e-6
+	var w float64
+	switch s.mode {
+	case IUFOnly:
+		w = s.IUF(v)
+	case BurstOnly:
+		w = s.Burst(v, t)
+	default:
+		w = s.IUF(v) * s.Burst(v, t)
+	}
+	if w < floor {
+		return floor
+	}
+	return w
+}
+
+// Apply returns the weighted cuboid C̄ of Equation (20):
+// C̄[u,t,v] = C[u,t,v]·w(v,t). The source cuboid is not modified.
+func (s *Scheme) Apply(c *cuboid.Cuboid) *cuboid.Cuboid {
+	return c.Scaled(func(cell cuboid.Cell) float64 {
+		return s.Weight(int(cell.V), int(cell.T))
+	})
+}
+
+// WeightCuboid is the one-call convenience: build the Combined scheme on
+// c and return the weighted cuboid of Equation (20).
+func WeightCuboid(c *cuboid.Cuboid) *cuboid.Cuboid {
+	return New(c, Combined).Apply(c)
+}

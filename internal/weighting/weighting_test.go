@@ -1,0 +1,217 @@
+package weighting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcam/internal/cuboid"
+)
+
+// buildScenario creates a cuboid with a deliberately popular item, a
+// salient item and a bursty item:
+//
+//	item 0 ("popular"): rated by all 4 users in both intervals
+//	item 1 ("salient"): rated by a single user once
+//	item 2 ("bursty"):  rated by 3 users, all during interval 1
+func buildScenario(t *testing.T) *cuboid.Cuboid {
+	t.Helper()
+	b := cuboid.NewBuilder(4, 2, 3)
+	for u := 0; u < 4; u++ {
+		b.MustAdd(u, 0, 0, 1)
+		b.MustAdd(u, 1, 0, 1)
+	}
+	b.MustAdd(0, 0, 1, 1)
+	for u := 1; u < 4; u++ {
+		b.MustAdd(u, 1, 2, 1)
+	}
+	return b.Build()
+}
+
+func TestIUFOrdering(t *testing.T) {
+	s := New(buildScenario(t), Combined)
+	// Popular item rated by everyone → iuf = log(4/4) = 0.
+	if got := s.IUF(0); got != 0 {
+		t.Errorf("iuf(popular) = %v, want 0", got)
+	}
+	// Salient item rated by 1 of 4 users → log 4.
+	if got := s.IUF(1); math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Errorf("iuf(salient) = %v, want log4", got)
+	}
+	if s.IUF(1) <= s.IUF(2) || s.IUF(2) <= s.IUF(0) {
+		t.Errorf("iuf ordering violated: salient=%v bursty=%v popular=%v",
+			s.IUF(1), s.IUF(2), s.IUF(0))
+	}
+}
+
+func TestIUFUnratedItem(t *testing.T) {
+	b := cuboid.NewBuilder(3, 1, 2)
+	b.MustAdd(0, 0, 0, 1)
+	s := New(b.Build(), Combined)
+	if got := s.IUF(1); math.Abs(got-math.Log(1)) > 1e-12 && got <= 0 {
+		t.Errorf("iuf(unrated) = %v, want log(N) > 0", got)
+	}
+}
+
+func TestBurstDegree(t *testing.T) {
+	s := New(buildScenario(t), Combined)
+	// Popular item: share in each interval equals overall share → B = 1.
+	if got := s.Burst(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("B(popular, t0) = %v, want 1", got)
+	}
+	if got := s.Burst(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("B(popular, t1) = %v, want 1", got)
+	}
+	// Bursty item: all its 3 raters in interval 1 (4 active users there),
+	// overall 3 of 4 → B = (3/4)·(4/3) = 1 in its burst interval, 0 away.
+	if got := s.Burst(2, 0); got != 0 {
+		t.Errorf("B(bursty, t0) = %v, want 0", got)
+	}
+	if got := s.Burst(2, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("B(bursty, t1) = %v, want 1", got)
+	}
+	// Burstiness must exceed the popular item's when normalized per
+	// interval presence: bursty concentrates all mass in one interval.
+	if s.Burst(2, 1) < s.Burst(0, 1) {
+		t.Error("bursty item not promoted over popular in its burst interval")
+	}
+}
+
+func TestBurstSharper(t *testing.T) {
+	// An item rated by 2 of 2 active users in a quiet interval, but only
+	// 2 of 6 users overall, must have B > 1 (over-represented).
+	b := cuboid.NewBuilder(6, 2, 2)
+	for u := 0; u < 6; u++ {
+		b.MustAdd(u, 0, 0, 1)
+	}
+	b.MustAdd(0, 1, 1, 1)
+	b.MustAdd(1, 1, 1, 1)
+	s := New(b.Build(), Combined)
+	if got := s.Burst(1, 1); got <= 1 {
+		t.Errorf("B(over-represented) = %v, want > 1", got)
+	}
+}
+
+func TestWeightModes(t *testing.T) {
+	c := buildScenario(t)
+	iufOnly := New(c, IUFOnly)
+	burstOnly := New(c, BurstOnly)
+	combined := New(c, Combined)
+	v, tt := 2, 1
+	wantCombined := iufOnly.IUF(v) * burstOnly.Burst(v, tt)
+	if got := combined.Weight(v, tt); math.Abs(got-wantCombined) > 1e-12 {
+		t.Errorf("combined weight = %v, want %v", got, wantCombined)
+	}
+	if got := iufOnly.Weight(v, tt); math.Abs(got-iufOnly.IUF(v)) > 1e-12 {
+		t.Errorf("iuf-only weight = %v, want %v", got, iufOnly.IUF(v))
+	}
+	if got := burstOnly.Weight(v, tt); math.Abs(got-burstOnly.Burst(v, tt)) > 1e-12 {
+		t.Errorf("burst-only weight = %v, want %v", got, burstOnly.Burst(v, tt))
+	}
+}
+
+func TestWeightFloorKeepsCells(t *testing.T) {
+	c := buildScenario(t)
+	weighted := WeightCuboid(c)
+	// The popular item has weight 0 raw (iuf=0) but must survive at the
+	// floor, so no observed rating disappears.
+	if weighted.NNZ() != c.NNZ() {
+		t.Errorf("weighted NNZ = %d, want %d (floor must keep cells)", weighted.NNZ(), c.NNZ())
+	}
+}
+
+func TestApplyDemotesPopularPromotesBursty(t *testing.T) {
+	c := buildScenario(t)
+	weighted := WeightCuboid(c)
+	var popularMass, burstyMass float64
+	for _, cell := range weighted.Cells() {
+		switch cell.V {
+		case 0:
+			popularMass += cell.Score
+		case 2:
+			burstyMass += cell.Score
+		}
+	}
+	// Raw masses: popular 8, bursty 3. After weighting the bursty item
+	// must dominate.
+	if burstyMass <= popularMass {
+		t.Errorf("weighted mass: bursty %v ≤ popular %v; weighting failed to invert", burstyMass, popularMass)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Combined.String() != "iuf×burst" || IUFOnly.String() != "iuf-only" ||
+		BurstOnly.String() != "burst-only" || Mode(99).String() != "unknown" {
+		t.Error("Mode.String labels wrong")
+	}
+}
+
+// Property: weights are always positive and finite, and iuf is
+// non-increasing in item popularity.
+func TestWeightPositiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nu, nt, nv = 8, 4, 10
+		b := cuboid.NewBuilder(nu, nt, nv)
+		for i := 0; i < 100; i++ {
+			b.MustAdd(r.Intn(nu), r.Intn(nt), r.Intn(nv), 1)
+		}
+		c := b.Build()
+		s := New(c, Combined)
+		for _, cell := range c.Cells() {
+			w := s.Weight(int(cell.V), int(cell.T))
+			if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				return false
+			}
+		}
+		// iuf monotone in N(v).
+		st := cuboid.ComputeStats(c)
+		for a := 0; a < nv; a++ {
+			for bb := 0; bb < nv; bb++ {
+				if st.ItemUsers[a] > 0 && st.ItemUsers[bb] > 0 &&
+					st.ItemUsers[a] < st.ItemUsers[bb] && s.IUF(a) < s.IUF(bb) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the burst degrees of an item across intervals, weighted by
+// interval activity shares, average to 1 — mass is conserved
+// (Σ_t (Nt/N)·B(v,t) = Σ_t Nt(v)/N(v) = 1 when each rater rates in one
+// interval; ≥ 1 in general because users can recur across intervals).
+func TestBurstMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nu, nt, nv = 10, 5, 6
+		b := cuboid.NewBuilder(nu, nt, nv)
+		for i := 0; i < 80; i++ {
+			b.MustAdd(r.Intn(nu), r.Intn(nt), r.Intn(nv), 1)
+		}
+		c := b.Build()
+		s := New(c, Combined)
+		st := cuboid.ComputeStats(c)
+		for v := 0; v < nv; v++ {
+			if st.ItemUsers[v] == 0 {
+				continue
+			}
+			var mass float64
+			for tt := 0; tt < nt; tt++ {
+				mass += float64(st.IntervalUsers[tt]) / float64(st.RatedUsers) * s.Burst(v, tt)
+			}
+			if mass < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

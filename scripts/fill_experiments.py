@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Inject sections of results_full.txt into EXPERIMENTS.md placeholders.
+
+Maintainer utility: after `go run ./cmd/tcamexp -all -out results_full.txt`,
+run `python3 scripts/fill_experiments.py` to refresh the measured blocks
+in EXPERIMENTS.md. Placeholders look like `<!-- FIGURE6 -->` and are
+replaced by fenced excerpts of the corresponding experiment's output.
+Running it again replaces the previous excerpts (blocks are delimited by
+the placeholder comment and a closing fence).
+"""
+import re
+import sys
+
+RESULTS = "results_full.txt"
+DOC = "EXPERIMENTS.md"
+
+# placeholder -> experiment id(s) in results_full.txt
+SECTIONS = {
+    "TABLE2": ["table2"],
+    "FIGURE2": ["figure2"],
+    "FIGURE5": ["figure5"],
+    "FIGURE6": ["figure6"],
+    "FIGURE7": ["figure7"],
+    "TABLE3": ["table3"],
+    "FIGURE9": ["figure9"],
+    "FIGURE8": ["figure8"],
+    "TABLE4": ["table4"],
+    "FIGURE1011": ["figure10", "figure11"],
+    "TABLE5": ["table5"],
+    "TABLE6": ["table6"],
+    "TABLE7": ["table7"],
+}
+
+# experiments whose full output is too long to inline; keep head lines
+TRUNCATE = {"figure2": 14, "figure5": 12, "figure10": 12, "figure11": 12}
+
+
+def extract(results: str, exp: str) -> str:
+    m = re.search(
+        r"^==== %s: .*?$\n(.*?)^\[%s completed" % (re.escape(exp), re.escape(exp)),
+        results,
+        re.S | re.M,
+    )
+    if not m:
+        raise SystemExit(f"experiment {exp} not found in {RESULTS}")
+    body = m.group(1).rstrip("\n")
+    if exp in TRUNCATE:
+        lines = body.splitlines()
+        keep = TRUNCATE[exp]
+        if len(lines) > keep:
+            body = "\n".join(lines[:keep]) + "\n  ... (full series in results_full.txt)"
+    return body
+
+
+def main() -> None:
+    results = open(RESULTS).read()
+    doc = open(DOC).read()
+    for key, exps in SECTIONS.items():
+        blocks = "\n\n".join("```\n%s\n```" % extract(results, e) for e in exps)
+        marker = f"<!-- {key} -->"
+        # Replace marker plus any previously injected fenced blocks
+        # directly following it.
+        pattern = re.compile(
+            re.escape(marker) + r"(?:\n+```.*?```)*", re.S
+        )
+        if not pattern.search(doc):
+            raise SystemExit(f"placeholder {marker} missing from {DOC}")
+        doc = pattern.sub(marker + "\n\n" + blocks.replace("\\", "\\\\"), doc, count=1)
+    open(DOC, "w").write(doc)
+    print("EXPERIMENTS.md refreshed from", RESULTS)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Replace the table4 section of results_full.txt with a re-run at a
+realistic Gibbs budget (tcamexp -exp table4 -burnin 20 -samples 10,
+written to /tmp/table4_new.txt). One-shot maintainer utility."""
+import re
+
+results = open("results_full.txt").read()
+new = open("/tmp/table4_new.txt").read()
+
+m = re.search(r"^==== table4: .*?$\n(.*?)\n(?=\[table4 completed|\Z)", new, re.S | re.M)
+if not m:
+    raise SystemExit("table4 section not found in re-run output")
+body = m.group(1).rstrip("\n")
+body += "\n(BPTF Gibbs budget: 20 burn-in + 10 retained sweeps — a realistic\n chain; the accuracy experiments use the lighter 10+6 default)"
+
+results = re.sub(
+    r"(^==== table4: .*?$\n).*?(^\[table4 completed[^\n]*\]$)",
+    lambda mm: mm.group(1) + body + "\n" + mm.group(2),
+    results,
+    flags=re.S | re.M,
+)
+open("results_full.txt", "w").write(results)
+print("spliced")

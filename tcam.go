@@ -1,0 +1,311 @@
+// Package tcam is a from-scratch Go implementation of the Temporal
+// Context-Aware Mixture model of Yin, Cui, Chen, Hu & Huang, "A Temporal
+// Context-Aware Model for User Behavior Modeling in Social Media
+// Systems" (SIGMOD 2014), together with everything the paper's
+// evaluation depends on: the UT/TT/BPRMF/BPTF baselines, the item
+// weighting scheme, the Threshold-Algorithm top-k query processor, and
+// synthetic workload generators standing in for the paper's four
+// crawled datasets.
+//
+// This root package is the high-level facade: feed it an interaction
+// log, get back a temporal recommender that answers "what should user u
+// see right now" queries with the paper's Section 4 machinery. The
+// packages under internal/ expose the individual systems (models,
+// metrics, query processing) to the binaries in cmd/ and the runnable
+// programs in examples/.
+//
+// Quick start:
+//
+//	log := tcam.NewDataset()
+//	log.Add("alice", "swineflu", day, 1)  // ... many events
+//	rec, err := tcam.Train(log, tcam.DefaultOptions())
+//	recs, err := rec.Recommend("alice", day, 10)
+package tcam
+
+import (
+	"errors"
+	"fmt"
+
+	"tcam/internal/dataset"
+	"tcam/internal/index"
+	"tcam/internal/model/itcam"
+	"tcam/internal/model/ttcam"
+	"tcam/internal/topk"
+	"tcam/internal/weighting"
+)
+
+// Dataset is an interaction log with interned string identifiers. It is
+// an alias of the internal dataset type so facade users and internal
+// tooling interoperate.
+type Dataset = dataset.Interactions
+
+// TimeGrid maps absolute event times onto model intervals.
+type TimeGrid = dataset.TimeGrid
+
+// NewDataset returns an empty interaction log.
+func NewDataset() *Dataset { return dataset.New() }
+
+// LoadDataset reads a JSONL interaction log from path (the format
+// cmd/tcamgen writes).
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadJSONLFile(path) }
+
+// Variant selects which TCAM formulation the facade trains.
+type Variant string
+
+// The two TCAM variants of Section 3.2.
+const (
+	// VariantTTCAM models the temporal context as a mixture over K2
+	// shared time-oriented topics (Section 3.2.2) — the paper's best
+	// performer and the right default.
+	VariantTTCAM Variant = "ttcam"
+	// VariantITCAM models each interval's temporal context directly as
+	// an item distribution (Section 3.2.1); only sensible for modest
+	// catalogs.
+	VariantITCAM Variant = "itcam"
+)
+
+// Options configures Train.
+type Options struct {
+	// Variant picks the TCAM formulation; default VariantTTCAM.
+	Variant Variant
+	// IntervalLength is the time-grid granularity in the dataset's time
+	// unit (Section 5.3.3 tunes this; e.g. 3 for "3 days" on Digg-like
+	// logs). Default 1.
+	IntervalLength int64
+	// K1 and K2 are the user- and time-oriented topic counts (paper
+	// defaults 60 and 40).
+	K1, K2 int
+	// Weighted applies the Section 3.3 item-weighting scheme before
+	// training (the W- variants); on by default via DefaultOptions.
+	Weighted bool
+	// Background is the optional noise-absorbing background weight
+	// (TTCAM only; 0 disables).
+	Background float64
+	// MaxIters bounds EM training. Seed drives all randomness. Workers
+	// caps training parallelism (0 = all CPUs).
+	MaxIters int
+	Seed     int64
+	Workers  int
+}
+
+// DefaultOptions returns the paper's recommended configuration:
+// weighted TTCAM with K1=60, K2=40.
+func DefaultOptions() Options {
+	return Options{
+		Variant:        VariantTTCAM,
+		IntervalLength: 1,
+		K1:             60,
+		K2:             40,
+		Weighted:       true,
+		MaxIters:       50,
+		Seed:           1,
+	}
+}
+
+// Recommendation is one ranked item.
+type Recommendation struct {
+	ItemID string
+	Score  float64
+}
+
+// Recommender answers temporal top-k queries over a trained TCAM using
+// the Threshold Algorithm of Section 4.2. It is safe for concurrent
+// use.
+type Recommender struct {
+	bundle  *index.Bundle
+	index   *topk.Index
+	userIdx map[string]int
+	itemIdx map[string]int
+}
+
+func newRecommender(b *index.Bundle) *Recommender {
+	r := &Recommender{
+		bundle:  b,
+		index:   b.BuildIndex(),
+		userIdx: make(map[string]int, len(b.Users)),
+		itemIdx: make(map[string]int, len(b.Items)),
+	}
+	for u, name := range b.Users {
+		r.userIdx[name] = u
+	}
+	for v, name := range b.Items {
+		r.itemIdx[name] = v
+	}
+	return r
+}
+
+// Train fits a TCAM on the interaction log and returns a ready-to-query
+// recommender.
+func Train(log *Dataset, opts Options) (*Recommender, error) {
+	if log == nil || log.NumEvents() == 0 {
+		return nil, errors.New("tcam: empty interaction log")
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantTTCAM
+	}
+	if opts.IntervalLength <= 0 {
+		opts.IntervalLength = 1
+	}
+	data, grid, err := log.Grid(opts.IntervalLength)
+	if err != nil {
+		return nil, fmt.Errorf("tcam: %w", err)
+	}
+	if opts.Weighted {
+		data = weighting.WeightCuboid(data)
+	}
+	users := make([]string, log.NumUsers())
+	for u := range users {
+		users[u] = log.UserID(u)
+	}
+	items := make([]string, log.NumItems())
+	for v := range items {
+		items[v] = log.ItemID(v)
+	}
+
+	var bundle *index.Bundle
+	switch opts.Variant {
+	case VariantTTCAM:
+		cfg := ttcam.DefaultConfig()
+		applyCommon(&cfg.K1, &cfg.K2, &cfg.MaxIters, &cfg.Seed, &cfg.Workers, opts)
+		cfg.Background = opts.Background
+		if opts.Weighted {
+			cfg.Label = "W-TTCAM"
+		}
+		m, _, err := ttcam.Train(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tcam: %w", err)
+		}
+		bundle = index.NewTTCAM(m, grid, users, items)
+	case VariantITCAM:
+		cfg := itcam.DefaultConfig()
+		k2 := 0
+		applyCommon(&cfg.K1, &k2, &cfg.MaxIters, &cfg.Seed, &cfg.Workers, opts)
+		if opts.Weighted {
+			cfg.Label = "W-ITCAM"
+		}
+		m, _, err := itcam.Train(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tcam: %w", err)
+		}
+		bundle = index.NewITCAM(m, grid, users, items)
+	default:
+		return nil, fmt.Errorf("tcam: unknown variant %q", opts.Variant)
+	}
+	return newRecommender(bundle), nil
+}
+
+func applyCommon(k1, k2, maxIters *int, seed *int64, workers *int, opts Options) {
+	if opts.K1 > 0 {
+		*k1 = opts.K1
+	}
+	if opts.K2 > 0 {
+		*k2 = opts.K2
+	}
+	if opts.MaxIters > 0 {
+		*maxIters = opts.MaxIters
+	}
+	if opts.Seed != 0 {
+		*seed = opts.Seed
+	}
+	*workers = opts.Workers
+}
+
+// Recommend returns the top-k items for userID at the given absolute
+// time, ranked by the Section 4.1 score and computed with the Threshold
+// Algorithm. Unknown users are an error; times outside the training
+// span clamp to the nearest interval.
+func (r *Recommender) Recommend(userID string, when int64, k int) ([]Recommendation, error) {
+	return r.recommend(userID, when, k, nil)
+}
+
+// RecommendExcluding is Recommend with an item-ID exclusion set (e.g.
+// items the user already consumed).
+func (r *Recommender) RecommendExcluding(userID string, when int64, k int, excludeIDs []string) ([]Recommendation, error) {
+	if len(excludeIDs) == 0 {
+		return r.recommend(userID, when, k, nil)
+	}
+	banned := make(map[int]bool, len(excludeIDs))
+	for _, id := range excludeIDs {
+		if v, ok := r.lookupItem(id); ok {
+			banned[v] = true
+		}
+	}
+	return r.recommend(userID, when, k, func(v int) bool { return banned[v] })
+}
+
+func (r *Recommender) recommend(userID string, when int64, k int, exclude topk.Exclude) ([]Recommendation, error) {
+	u, ok := r.lookupUser(userID)
+	if !ok {
+		return nil, fmt.Errorf("tcam: unknown user %q", userID)
+	}
+	t := r.bundle.Grid.IntervalOf(when)
+	results, _ := r.index.Query(r.bundle.Scorer(), u, t, k, exclude)
+	out := make([]Recommendation, len(results))
+	for i, res := range results {
+		out[i] = Recommendation{ItemID: r.bundle.Items[res.Item], Score: res.Score}
+	}
+	return out, nil
+}
+
+func (r *Recommender) lookupUser(id string) (int, bool) {
+	u, ok := r.userIdx[id]
+	return u, ok
+}
+
+func (r *Recommender) lookupItem(id string) (int, bool) {
+	v, ok := r.itemIdx[id]
+	return v, ok
+}
+
+// Lambda returns the learned personal-interest influence probability λu
+// of a user — the quantity Figures 10–11 analyze.
+func (r *Recommender) Lambda(userID string) (float64, error) {
+	u, ok := r.lookupUser(userID)
+	if !ok {
+		return 0, fmt.Errorf("tcam: unknown user %q", userID)
+	}
+	switch r.bundle.Kind {
+	case index.KindTTCAM:
+		return r.bundle.TTCAM.Lambda(u), nil
+	default:
+		return r.bundle.ITCAM.Lambda(u), nil
+	}
+}
+
+// Grid returns the time grid the recommender was trained on.
+func (r *Recommender) Grid() TimeGrid { return r.bundle.Grid }
+
+// NumTopics returns the expanded topic-space size (K1 + K2 for TTCAM).
+func (r *Recommender) NumTopics() int { return r.bundle.Scorer().NumTopics() }
+
+// TopicTopItems returns the n highest-probability item IDs of expanded
+// topic z — how Tables 5–7 inspect what a topic means.
+func (r *Recommender) TopicTopItems(z, n int) []Recommendation {
+	weights := r.bundle.Scorer().TopicItems(z)
+	res, _ := topk.BruteForce(topicAsModel{weights: weights}, 0, 0, n, nil)
+	out := make([]Recommendation, len(res))
+	for i, x := range res {
+		out[i] = Recommendation{ItemID: r.bundle.Items[x.Item], Score: x.Score}
+	}
+	return out
+}
+
+// topicAsModel ranks a single weight vector through the topk machinery.
+type topicAsModel struct{ weights []float64 }
+
+func (t topicAsModel) Name() string              { return "topic" }
+func (t topicAsModel) NumItems() int             { return len(t.weights) }
+func (t topicAsModel) Score(_, _, v int) float64 { return t.weights[v] }
+
+// Save persists the recommender (model + grid + vocabularies) to path.
+func (r *Recommender) Save(path string) error { return r.bundle.Save(path) }
+
+// LoadRecommender restores a recommender saved with Save, rebuilding
+// the TA index.
+func LoadRecommender(path string) (*Recommender, error) {
+	b, err := index.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return newRecommender(b), nil
+}

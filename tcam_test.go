@@ -1,0 +1,239 @@
+package tcam
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// newsLog builds a small news-like log: ten trend-followers chase one
+// hot story per day; ten loyalists keep reading their own pet feeds.
+func newsLog(tb testing.TB) *Dataset {
+	tb.Helper()
+	log := NewDataset()
+	add := func(u, v string, day int64) {
+		tb.Helper()
+		if err := log.Add(u, v, day, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for day := int64(0); day < 10; day++ {
+		hot := "story-hot-" + string(rune('a'+day))
+		for u := 0; u < 10; u++ {
+			add(userName("follower", u), hot, day)
+			if u%2 == 0 {
+				add(userName("follower", u), "story-hot-extra-"+string(rune('a'+day)), day)
+			}
+		}
+		for u := 0; u < 10; u++ {
+			add(userName("loyal", u), "feed-"+string(rune('a'+u%5)), day)
+			add(userName("loyal", u), "feed-"+string(rune('a'+(u+1)%5)), day)
+		}
+	}
+	return log
+}
+
+func userName(kind string, i int) string { return kind + "-" + string(rune('0'+i)) }
+
+func fastOptions() Options {
+	opts := DefaultOptions()
+	opts.K1, opts.K2 = 8, 6
+	opts.MaxIters = 25
+	opts.Workers = 2
+	return opts
+}
+
+func TestTrainAndRecommend(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rec.Recommend(userName("follower", 3), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations", len(recs))
+	}
+	// A trend-follower on day 4 should see day-4's hot content in the
+	// top-3 (K2 < number of days, so adjacent days can share a topic).
+	found := false
+	for _, r := range recs {
+		if r.ItemID == "story-hot-e" || r.ItemID == "story-hot-extra-e" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("day-4 hot content not in top-3: %+v", recs)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Error("recommendations not sorted by score")
+		}
+	}
+}
+
+func TestLoyalUserGetsTheirFeed(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rec.Recommend(userName("loyal", 2), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.ItemID == "feed-c" || r.ItemID == "feed-d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loyal user's feeds absent from top-3: %+v", recs)
+	}
+}
+
+func TestUnknownUser(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Recommend("nobody", 0, 3); err == nil {
+		t.Error("Recommend accepted an unknown user")
+	}
+	if _, err := rec.Lambda("nobody"); err == nil {
+		t.Error("Lambda accepted an unknown user")
+	}
+}
+
+func TestRecommendExcluding(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := userName("follower", 0)
+	base, err := rec.Recommend(u, 4, 1)
+	if err != nil || len(base) == 0 {
+		t.Fatal(err)
+	}
+	filtered, err := rec.RecommendExcluding(u, 4, 3, []string{base[0].ItemID, "not-an-item"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range filtered {
+		if r.ItemID == base[0].ItemID {
+			t.Error("excluded item recommended")
+		}
+	}
+}
+
+func TestLambdaSeparatesUserKinds(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follower, loyal float64
+	for i := 0; i < 10; i++ {
+		lf, err := rec.Lambda(userName("follower", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := rec.Lambda(userName("loyal", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		follower += lf
+		loyal += ll
+	}
+	if loyal/10 <= follower/10 {
+		t.Errorf("mean λ loyal %v ≤ follower %v", loyal/10, follower/10)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rec.tcam")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRecommender(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := userName("follower", 1)
+	a, err := rec.Recommend(u, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Recommend(u, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ItemID != b[i].ItemID || math.Abs(a[i].Score-b[i].Score) > 0 {
+			t.Fatalf("rank %d differs after roundtrip: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if loaded.Grid() != rec.Grid() {
+		t.Error("grid changed in roundtrip")
+	}
+}
+
+func TestITCAMVariant(t *testing.T) {
+	opts := fastOptions()
+	opts.Variant = VariantITCAM
+	rec, err := Train(newsLog(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rec.Recommend(userName("follower", 5), 2, 3)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("ITCAM variant failed: %v, %d recs", err, len(recs))
+	}
+}
+
+func TestTopicTopItems(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumTopics() != 8+6 {
+		t.Fatalf("NumTopics = %d, want 14", rec.NumTopics())
+	}
+	top := rec.TopicTopItems(0, 4)
+	if len(top) != 4 {
+		t.Fatalf("got %d top items", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("topic items not sorted")
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, DefaultOptions()); err == nil {
+		t.Error("Train accepted a nil dataset")
+	}
+	if _, err := Train(NewDataset(), DefaultOptions()); err == nil {
+		t.Error("Train accepted an empty dataset")
+	}
+	opts := fastOptions()
+	opts.Variant = "bogus"
+	if _, err := Train(newsLog(t), opts); err == nil {
+		t.Error("Train accepted an unknown variant")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.K1 != 60 || opts.K2 != 40 {
+		t.Errorf("default topic counts K1=%d K2=%d, paper uses 60/40", opts.K1, opts.K2)
+	}
+	if !opts.Weighted || opts.Variant != VariantTTCAM {
+		t.Error("default should be the paper's best performer, W-TTCAM")
+	}
+}
