@@ -4,6 +4,10 @@
 // Usage:
 //
 //	tcamquery -bundle digg.tcam -user u00042 -time 37 [-k 10] [-exclude item1,item2]
+//	tcamquery -bundle digg.tcam -users u00042,u00091,u00007 -time 37 [-k 10]
+//
+// With -users, all queries run as one batch through the parallel
+// serving path (pooled Threshold-Algorithm scratch per worker).
 package main
 
 import (
@@ -18,13 +22,20 @@ import (
 func main() {
 	var (
 		bundle  = flag.String("bundle", "", "trained bundle path (required)")
-		user    = flag.String("user", "", "user identifier (required)")
+		user    = flag.String("user", "", "user identifier")
+		users   = flag.String("users", "", "comma-separated user identifiers (batch mode)")
 		when    = flag.Int64("time", 0, "query time in dataset ticks")
 		k       = flag.Int("k", 10, "number of recommendations")
 		exclude = flag.String("exclude", "", "comma-separated item IDs to exclude")
 	)
 	flag.Parse()
-	if err := run(*bundle, *user, *when, *k, *exclude); err != nil {
+	var err error
+	if *users != "" {
+		err = runBatch(*bundle, *users, *when, *k, *exclude)
+	} else {
+		err = run(*bundle, *user, *when, *k, *exclude)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcamquery:", err)
 		os.Exit(1)
 	}
@@ -54,6 +65,37 @@ func run(bundlePath, user string, when int64, k int, exclude string) error {
 		k, user, when, rec.Grid().IntervalOf(when), lambda)
 	for i, r := range results {
 		fmt.Printf("%3d. %-40s %.6g\n", i+1, r.ItemID, r.Score)
+	}
+	return nil
+}
+
+func runBatch(bundlePath, users string, when int64, k int, exclude string) error {
+	if bundlePath == "" {
+		return fmt.Errorf("-bundle is required")
+	}
+	rec, err := tcam.LoadRecommender(bundlePath)
+	if err != nil {
+		return err
+	}
+	var banned []string
+	if exclude != "" {
+		banned = strings.Split(exclude, ",")
+	}
+	ids := strings.Split(users, ",")
+	queries := make([]tcam.BatchQuery, len(ids))
+	for i, id := range ids {
+		queries[i] = tcam.BatchQuery{UserID: id, When: when, K: k, ExcludeIDs: banned}
+	}
+	results, err := rec.RecommendBatch(queries)
+	if err != nil {
+		return err
+	}
+	for i, recs := range results {
+		fmt.Printf("top-%d for %s at t=%d (interval %d):\n",
+			k, ids[i], when, rec.Grid().IntervalOf(when))
+		for j, r := range recs {
+			fmt.Printf("%3d. %-40s %.6g\n", j+1, r.ItemID, r.Score)
+		}
 	}
 	return nil
 }

@@ -57,3 +57,26 @@ func TestQueryErrors(t *testing.T) {
 		t.Error("run accepted missing bundle")
 	}
 }
+
+func TestQueryRunBatch(t *testing.T) {
+	bundle := trainedBundle(t)
+	if err := runBatch(bundle, "user3,user5,user0", 2, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBatch(bundle, "user3", 2, 3, "item-0,item-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRunBatchErrors(t *testing.T) {
+	bundle := trainedBundle(t)
+	if err := runBatch("", "user3", 0, 3, ""); err == nil {
+		t.Error("runBatch accepted empty bundle path")
+	}
+	if err := runBatch(bundle, "user3,nobody", 0, 3, ""); err == nil {
+		t.Error("runBatch accepted unknown user")
+	}
+	if err := runBatch(filepath.Join(t.TempDir(), "missing"), "user3", 0, 3, ""); err == nil {
+		t.Error("runBatch accepted missing bundle")
+	}
+}

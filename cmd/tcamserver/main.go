@@ -34,7 +34,7 @@ func run(bundlePath, addr string) error {
 		return err
 	}
 	fmt.Printf("serving %s bundle (%d users, %d items) on %s\n", b.Kind, len(b.Users), len(b.Items), addr)
-	fmt.Println("endpoints: /healthz  /recommend?user=&time=&k=  /topics/{z}?n=  /users/{id}/lambda")
+	fmt.Println("endpoints: /healthz  /recommend?user=&time=&k=  POST /recommend/batch  /topics/{z}?n=  /users/{id}/lambda")
 	return http.ListenAndServe(addr, srv)
 }
 

@@ -90,7 +90,11 @@ func BruteForceRanker(r model.Recommender) Ranker {
 	}
 }
 
-// TARanker ranks with the Threshold Algorithm over a prebuilt index.
+// TARanker ranks with the Threshold Algorithm over a prebuilt index
+// (per-query scratch comes from the index's searcher pool). Prefer
+// EvaluateTA for whole evaluation runs: it batches all queries through
+// Index.QueryBatch instead of paying a pool round-trip and result copy
+// per query.
 func TARanker(ix *topk.Index, ts model.TopicScorer) Ranker {
 	return func(u, t, k int, exclude topk.Exclude) []topk.Result {
 		res, _ := ix.Query(ts, u, t, k, exclude)
@@ -145,8 +149,38 @@ func Evaluate(rank Ranker, queries []Query, maxK, workers int) Curve {
 		}
 		mu.Unlock()
 	})
-	n := float64(len(queries))
-	out := make(Curve, maxK)
+	return averageCurve(sums, len(queries))
+}
+
+// EvaluateTA is Evaluate specialized to the Threshold Algorithm: the
+// whole query set goes through Index.QueryBatch, so each worker reuses
+// one pooled searcher instead of allocating per-query scratch. The
+// resulting curve is identical to Evaluate(TARanker(ix, ts), ...).
+func EvaluateTA(ix *topk.Index, ts model.TopicScorer, queries []Query, maxK, workers int) Curve {
+	if maxK <= 0 || len(queries) == 0 {
+		return nil
+	}
+	batch := make([]topk.BatchQuery, len(queries))
+	for i, q := range queries {
+		train := q.Train
+		var exclude topk.Exclude
+		if len(train) > 0 {
+			exclude = func(v int) bool { return train[v] }
+		}
+		batch[i] = topk.BatchQuery{U: q.U, T: q.T, K: maxK, Exclude: exclude}
+	}
+	res := ix.QueryBatch(ts, batch, workers)
+	sums := make([]RankMetrics, maxK)
+	for i, r := range res {
+		accumulate(sums, r.Results, queries[i].Test, maxK)
+	}
+	return averageCurve(sums, len(queries))
+}
+
+// averageCurve divides per-cutoff metric sums by the query count.
+func averageCurve(sums []RankMetrics, queries int) Curve {
+	n := float64(queries)
+	out := make(Curve, len(sums))
 	for k := range sums {
 		out[k] = RankMetrics{
 			Precision: sums[k].Precision / n,

@@ -195,3 +195,62 @@ func TestInterestDrift(t *testing.T) {
 		t.Errorf("zero-vector cosine = %v, want NaN", drift[2])
 	}
 }
+
+// miniScorer is a tiny deterministic TopicScorer for exercising the
+// TA evaluation paths without training a model.
+type miniScorer struct {
+	topics  [][]float64 // K×V
+	queries [][]float64 // (u*2+t)-indexed ϑq
+}
+
+func (m *miniScorer) Name() string               { return "mini" }
+func (m *miniScorer) NumItems() int              { return len(m.topics[0]) }
+func (m *miniScorer) NumTopics() int             { return len(m.topics) }
+func (m *miniScorer) TopicItems(z int) []float64 { return m.topics[z] }
+func (m *miniScorer) QueryWeights(u, t int) []float64 {
+	return m.queries[u*2+t]
+}
+func (m *miniScorer) Score(u, t, v int) float64 {
+	var s float64
+	for z, w := range m.QueryWeights(u, t) {
+		s += w * m.topics[z][v]
+	}
+	return s
+}
+
+// EvaluateTA (the batch serving path) must produce the exact curve of
+// the per-query TARanker evaluation.
+func TestEvaluateTAMatchesTARanker(t *testing.T) {
+	m := &miniScorer{
+		topics: [][]float64{
+			{0.05, 0.30, 0.10, 0.20, 0.05, 0.10, 0.15, 0.02, 0.02, 0.01},
+			{0.20, 0.02, 0.25, 0.05, 0.15, 0.03, 0.05, 0.10, 0.10, 0.05},
+		},
+		queries: [][]float64{
+			{0.7, 0.3},
+			{0.2, 0.8},
+			{0.5, 0.5},
+			{0.9, 0.1},
+		},
+	}
+	ix := topk.BuildIndex(m)
+	queries := BuildQueries(makeSplit(t))
+	for _, workers := range []int{1, 3} {
+		batch := EvaluateTA(ix, m, queries, 5, workers)
+		perQuery := Evaluate(TARanker(ix, m), queries, 5, workers)
+		if len(batch) != len(perQuery) {
+			t.Fatalf("curve lengths %d vs %d", len(batch), len(perQuery))
+		}
+		for k := range batch {
+			if batch[k] != perQuery[k] {
+				t.Errorf("workers=%d k=%d: batch %+v != per-query %+v", workers, k+1, batch[k], perQuery[k])
+			}
+		}
+	}
+	if EvaluateTA(ix, m, nil, 5, 0) != nil {
+		t.Error("no queries should yield nil curve")
+	}
+	if EvaluateTA(ix, m, queries, 0, 0) != nil {
+		t.Error("maxK<=0 should yield nil curve")
+	}
+}

@@ -22,6 +22,10 @@ type LatencyResult struct {
 	Ks       []int
 	// Per-k average latency per query.
 	TA, BF, BPTF []time.Duration
+	// TABatch is the per-query latency when the same workload goes
+	// through Index.QueryBatch — the serving fast path: pooled searcher
+	// scratch per worker, fanned across CPUs.
+	TABatch []time.Duration
 	// TAExamined[i] is the mean number of items TA examined at Ks[i]
 	// (the scan-saving evidence behind the latency gap).
 	TAExamined []float64
@@ -68,6 +72,7 @@ func (r *Runner) latencyOn(p datagen.Profile) (*LatencyResult, error) {
 	}
 
 	out := &LatencyResult{Dataset: p.String(), NumItems: data.NumItems()}
+	batch := make([]topk.BatchQuery, len(queries))
 	for _, k := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20} {
 		out.Ks = append(out.Ks, k)
 		var taTotal, bfTotal, bptfTotal time.Duration
@@ -86,22 +91,41 @@ func (r *Runner) latencyOn(p datagen.Profile) (*LatencyResult, error) {
 			topk.BruteForce(bptfRes.Model, qq.u, qq.t, k, nil)
 			bptfTotal += time.Since(start)
 		}
+		// The same workload through the batch serving path.
+		for i, qq := range queries {
+			batch[i] = topk.BatchQuery{U: qq.u, T: qq.t, K: k}
+		}
+		start := time.Now()
+		ix.QueryBatch(tm, batch, 0)
+		batchTotal := time.Since(start)
+
 		n := time.Duration(len(queries))
 		out.TA = append(out.TA, taTotal/n)
 		out.BF = append(out.BF, bfTotal/n)
 		out.BPTF = append(out.BPTF, bptfTotal/n)
+		out.TABatch = append(out.TABatch, batchTotal/n)
 		out.TAExamined = append(out.TAExamined, examined/float64(len(queries)))
 	}
 	return out, nil
 }
 
-// Render prints the Figure 8 series for one dataset.
+// Render prints the Figure 8 series for one dataset. The TA-batch
+// column appears when the result carries it (older payloads omit it).
 func (l *LatencyResult) Render(w io.Writer) {
 	fprintf(w, "Online recommendation latency on %s (%d items), mean per query\n", l.Dataset, l.NumItems)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "k\tTCAM-TA\tTCAM-BF\tBPTF\tTA items examined")
+	withBatch := len(l.TABatch) == len(l.Ks)
+	if withBatch {
+		fmt.Fprintln(tw, "k\tTCAM-TA\tTCAM-TA-batch\tTCAM-BF\tBPTF\tTA items examined")
+	} else {
+		fmt.Fprintln(tw, "k\tTCAM-TA\tTCAM-BF\tBPTF\tTA items examined")
+	}
 	for i, k := range l.Ks {
-		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
+		if withBatch {
+			fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.TABatch[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
+		} else {
+			fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
+		}
 	}
 	tw.Flush()
 }
@@ -115,6 +139,10 @@ func (l *LatencyResult) MeanBF() time.Duration { return meanDur(l.BF) }
 
 // MeanBPTF returns the mean BPTF latency across the sweep.
 func (l *LatencyResult) MeanBPTF() time.Duration { return meanDur(l.BPTF) }
+
+// MeanTABatch returns the mean per-query latency of the batch serving
+// path across the sweep.
+func (l *LatencyResult) MeanTABatch() time.Duration { return meanDur(l.TABatch) }
 
 func meanDur(ds []time.Duration) time.Duration {
 	if len(ds) == 0 {

@@ -88,8 +88,23 @@ func TestLatencyResultRenderAndMeans(t *testing.T) {
 	if !strings.Contains(buf.String(), "69908") {
 		t.Error("latency render missing catalog size")
 	}
+	if strings.Contains(buf.String(), "TCAM-TA-batch") {
+		t.Error("batch column rendered without batch measurements")
+	}
 	if (&LatencyResult{}).MeanTA() != 0 {
 		t.Error("empty mean should be 0")
+	}
+
+	// With batch timings present (e.g. payloads written after the batch
+	// serving layer landed), the extra column appears and has a mean.
+	res.TABatch = []time.Duration{500 * time.Microsecond, 1500 * time.Microsecond}
+	if res.MeanTABatch() != time.Millisecond {
+		t.Errorf("MeanTABatch = %v", res.MeanTABatch())
+	}
+	buf.Reset()
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "TCAM-TA-batch") {
+		t.Error("latency render missing batch column")
 	}
 }
 

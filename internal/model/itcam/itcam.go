@@ -376,13 +376,22 @@ func (m *Model) NumTopics() int { return m.k1 + m.numIntervals }
 // topics and (1−λu) on interval t's pseudo-topic, zero elsewhere.
 func (m *Model) QueryWeights(u, t int) []float64 {
 	out := make([]float64, m.NumTopics())
+	m.QueryWeightsInto(u, t, out)
+	return out
+}
+
+// QueryWeightsInto is the allocation-free form of QueryWeights: it
+// overwrites every entry of out, which must have length NumTopics().
+func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 	lam := m.lambda[u]
 	thetaRow := m.UserInterest(u)
 	for z := 0; z < m.k1; z++ {
 		out[z] = lam * thetaRow[z]
 	}
+	for z := m.k1; z < len(out); z++ {
+		out[z] = 0
+	}
 	out[m.k1+t] = 1 - lam
-	return out
 }
 
 // TopicItems returns ϕ_z̃: a user-oriented topic's item distribution for
@@ -395,6 +404,7 @@ func (m *Model) TopicItems(z int) []float64 {
 }
 
 var (
-	_ model.BulkScorer  = (*Model)(nil)
-	_ model.TopicScorer = (*Model)(nil)
+	_ model.BulkScorer    = (*Model)(nil)
+	_ model.TopicScorer   = (*Model)(nil)
+	_ model.QueryWeighter = (*Model)(nil)
 )

@@ -49,6 +49,14 @@ type TopicScorer interface {
 	TopicItems(z int) []float64
 }
 
+// QueryWeighter is an optional TopicScorer extension: write ϑq for
+// query (u, t) into dst (length NumTopics()) instead of allocating a
+// fresh vector. The serving fast path uses it to keep steady-state
+// top-k queries allocation-free; both TCAM variants implement it.
+type QueryWeighter interface {
+	QueryWeightsInto(u, t int, dst []float64)
+}
+
 // TrainStats records an EM run: the log-likelihood after every
 // iteration and why training stopped.
 type TrainStats struct {

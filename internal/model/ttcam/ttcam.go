@@ -486,6 +486,13 @@ func (m *Model) NumTopics() int {
 // by 1−λB with a trailing λB background entry when enabled).
 func (m *Model) QueryWeights(u, t int) []float64 {
 	out := make([]float64, m.NumTopics())
+	m.QueryWeightsInto(u, t, out)
+	return out
+}
+
+// QueryWeightsInto is the allocation-free form of QueryWeights: it
+// overwrites every entry of out, which must have length NumTopics().
+func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 	lam := m.lambda[u]
 	scale := 1.0
 	if m.backgroundW > 0 {
@@ -500,7 +507,6 @@ func (m *Model) QueryWeights(u, t int) []float64 {
 	for x := 0; x < m.k2; x++ {
 		out[m.k1+x] = scale * (1 - lam) * ctxRow[x]
 	}
-	return out
 }
 
 // TopicItems returns ϕ_z̃ of Equation (21): user-oriented topics first,
@@ -517,6 +523,7 @@ func (m *Model) TopicItems(z int) []float64 {
 }
 
 var (
-	_ model.BulkScorer  = (*Model)(nil)
-	_ model.TopicScorer = (*Model)(nil)
+	_ model.BulkScorer    = (*Model)(nil)
+	_ model.TopicScorer   = (*Model)(nil)
+	_ model.QueryWeighter = (*Model)(nil)
 )

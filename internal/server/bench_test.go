@@ -1,0 +1,66 @@
+package server
+
+// Serving-layer benchmarks (ISSUE 1): end-to-end handler latency and
+// allocation pressure via httptest, for the single and batch endpoints.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func BenchmarkServerRecommend(b *testing.B) {
+	srv, _ := testServer(b)
+	req := httptest.NewRequest(http.MethodGet, "/recommend?user=user-2&time=115&k=4", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+func BenchmarkServerRecommendExclude(b *testing.B) {
+	srv, _ := testServer(b)
+	req := httptest.NewRequest(http.MethodGet, "/recommend?user=user-2&time=115&k=4&exclude=item-1,item-5,item-9", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+func BenchmarkServerRecommendBatch(b *testing.B) {
+	srv, _ := testServer(b)
+	var body bytes.Buffer
+	body.WriteString(`{"queries":[`)
+	for i := 0; i < 32; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		user := []byte{'0' + byte(i%6)}
+		body.WriteString(`{"user":"user-`)
+		body.Write(user)
+		body.WriteString(`","time":115,"k":4}`)
+	}
+	body.WriteString(`]}`)
+	raw := body.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/recommend/batch", bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

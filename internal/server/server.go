@@ -5,10 +5,11 @@
 //
 // Endpoints:
 //
-//	GET /healthz                  liveness + model metadata
-//	GET /recommend?user=&time=&k= temporal top-k for a user at a time
-//	GET /topics/{z}?n=            top items of an expanded topic
-//	GET /users/{id}/lambda        the user's learned mixing weight
+//	GET  /healthz                  liveness + model metadata
+//	GET  /recommend?user=&time=&k= temporal top-k for a user at a time
+//	POST /recommend/batch          many top-k queries in one request
+//	GET  /topics/{z}?n=            top items of an expanded topic
+//	GET  /users/{id}/lambda        the user's learned mixing weight
 package server
 
 import (
@@ -17,18 +18,24 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"tcam/internal/index"
 	"tcam/internal/topk"
 )
 
+// maxBatchQueries bounds one /recommend/batch request.
+const maxBatchQueries = 1024
+
 // Server routes recommendation traffic onto a loaded bundle. It is safe
 // for concurrent use.
 type Server struct {
-	bundle  *index.Bundle
-	idx     *topk.Index
-	userIdx map[string]int
-	mux     *http.ServeMux
+	bundle   *index.Bundle
+	idx      *topk.Index
+	userIdx  map[string]int
+	itemIdx  map[string]int
+	excludes sync.Pool // *excludeSet scratch for /recommend filtering
+	mux      *http.ServeMux
 }
 
 // New builds a Server (and its TA index) from a bundle.
@@ -40,13 +47,18 @@ func New(b *index.Bundle) (*Server, error) {
 		bundle:  b,
 		idx:     b.BuildIndex(),
 		userIdx: make(map[string]int, len(b.Users)),
+		itemIdx: make(map[string]int, len(b.Items)),
 		mux:     http.NewServeMux(),
 	}
 	for u, name := range b.Users {
 		s.userIdx[name] = u
 	}
+	for v, name := range b.Items {
+		s.itemIdx[name] = v
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
 	s.mux.HandleFunc("/topics/", s.handleTopic)
 	s.mux.HandleFunc("/users/", s.handleUser)
 	return s, nil
@@ -86,12 +98,14 @@ type recommendation struct {
 	Score float64 `json:"score"`
 }
 
-// recommendResponse is the /recommend payload.
+// recommendResponse is the /recommend payload (and one entry of the
+// /recommend/batch payload, where a per-query failure sets Error).
 type recommendResponse struct {
 	User            string           `json:"user"`
 	Interval        int              `json:"interval"`
 	Recommendations []recommendation `json:"recommendations"`
 	ItemsExamined   int              `json:"items_examined"`
+	Error           string           `json:"error,omitempty"`
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -121,23 +135,117 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	var exclude topk.Exclude
 	if raw := q.Get("exclude"); raw != "" {
-		banned := map[int]bool{}
-		itemIdx := s.itemIndex()
-		for _, id := range strings.Split(raw, ",") {
-			if v, ok := itemIdx[id]; ok {
-				banned[v] = true
+		ex := s.acquireExclude()
+		defer s.excludes.Put(ex)
+		for raw != "" {
+			var id string
+			id, raw, _ = strings.Cut(raw, ",")
+			if v, ok := s.itemIdx[id]; ok {
+				ex.add(v)
 			}
 		}
-		exclude = func(v int) bool { return banned[v] }
+		exclude = ex.has
 	}
 	t := s.bundle.Grid.IntervalOf(when)
-	results, st := s.idx.Query(s.bundle.Scorer(), u, t, k, exclude)
+	// Build the response before Release: the pooled searcher owns the
+	// result slice, which saves the copy Index.Query would make.
+	sr := s.idx.AcquireSearcher()
+	results, st := sr.Query(s.bundle.Scorer(), u, t, k, exclude)
 	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: st.ItemsExamined}
 	for _, res := range results {
 		resp.Recommendations = append(resp.Recommendations, recommendation{
 			Item:  s.bundle.Items[res.Item],
 			Score: res.Score,
 		})
+	}
+	sr.Release()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchQuery is one entry of the /recommend/batch request body.
+type batchQuery struct {
+	User    string   `json:"user"`
+	Time    int64    `json:"time"`
+	K       int      `json:"k"`
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+// batchRequest is the /recommend/batch request body.
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+// batchResponse is the /recommend/batch payload; Results aligns with
+// the request's Queries by position.
+type batchResponse struct {
+	Results []recommendResponse `json:"results"`
+}
+
+// handleRecommendBatch answers many temporal top-k queries in one POST,
+// fanning them across CPUs with Index.QueryBatch (pooled searcher
+// scratch per worker). Invalid entries fail individually via their
+// Error field; the batch itself only fails on malformed JSON or size.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch needs at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch limited to %d queries", maxBatchQueries))
+		return
+	}
+	resp := batchResponse{Results: make([]recommendResponse, len(req.Queries))}
+	queries := make([]topk.BatchQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		out := &resp.Results[i]
+		out.User = q.User
+		u, ok := s.userIdx[q.User]
+		if !ok {
+			out.Error = fmt.Sprintf("unknown user %q", q.User)
+			continue // zero-value BatchQuery: K=0 ranks nothing
+		}
+		k := q.K
+		if k == 0 {
+			k = 10
+		}
+		if k < 0 || k > 1000 {
+			out.Error = "k must be in [1,1000]"
+			continue
+		}
+		var exclude topk.Exclude
+		if len(q.Exclude) > 0 {
+			banned := make(map[int]bool, len(q.Exclude))
+			for _, id := range q.Exclude {
+				if v, ok := s.itemIdx[id]; ok {
+					banned[v] = true
+				}
+			}
+			exclude = func(v int) bool { return banned[v] }
+		}
+		out.Interval = s.bundle.Grid.IntervalOf(q.Time)
+		queries[i] = topk.BatchQuery{U: u, T: out.Interval, K: k, Exclude: exclude}
+	}
+	for i, br := range s.idx.QueryBatch(s.bundle.Scorer(), queries, 0) {
+		out := &resp.Results[i]
+		if out.Error != "" {
+			continue
+		}
+		out.ItemsExamined = br.Stats.ItemsExamined
+		for _, res := range br.Results {
+			out.Recommendations = append(out.Recommendations, recommendation{
+				Item:  s.bundle.Items[res.Item],
+				Score: res.Score,
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -231,14 +339,29 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, lambdaResponse{User: parts[0], Lambda: lambda})
 }
 
-// itemIndex lazily materializes the item-ID lookup (only the exclude
-// parameter needs it).
-func (s *Server) itemIndex() map[string]int {
-	idx := make(map[string]int, len(s.bundle.Items))
-	for v, name := range s.bundle.Items {
-		idx[name] = v
+// excludeSet is a reusable catalog-sized exclusion filter. Membership is
+// an epoch stamp, so recycling it for the next request is an O(1) epoch
+// bump instead of an O(V) clear or a fresh per-request map.
+type excludeSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func (e *excludeSet) add(v int)      { e.stamp[v] = e.epoch }
+func (e *excludeSet) has(v int) bool { return e.stamp[v] == e.epoch }
+
+// acquireExclude takes an empty exclude set from the pool; return it
+// with s.excludes.Put once the query no longer holds it.
+func (s *Server) acquireExclude() *excludeSet {
+	if e, ok := s.excludes.Get().(*excludeSet); ok {
+		e.epoch++
+		if e.epoch == 0 { // stamp wraparound: reset once per 2^32 uses
+			clear(e.stamp)
+			e.epoch = 1
+		}
+		return e
 	}
-	return idx
+	return &excludeSet{stamp: make([]uint32, len(s.bundle.Items)), epoch: 1}
 }
 
 // weightModel ranks a bare weight vector through the topk machinery.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"tcam/internal/cuboid"
@@ -116,6 +117,148 @@ func TestRecommendExclude(t *testing.T) {
 		if rec.Item == first {
 			t.Error("excluded item recommended")
 		}
+	}
+}
+
+// The exclude filter's pooled scratch must behave identically across
+// many sequential requests (epoch stamping, not per-request maps).
+func TestRecommendExcludeReusedScratch(t *testing.T) {
+	srv, _ := testServer(t)
+	_, body := get(t, srv, "/recommend?user=user-2&time=115&k=3")
+	var base recommendResponse
+	if err := json.Unmarshal(body, &base); err != nil {
+		t.Fatal(err)
+	}
+	first := base.Recommendations[0].Item
+	second := base.Recommendations[1].Item
+	for i := 0; i < 5; i++ {
+		// Alternate exclusion sets: a stale stamp from the previous
+		// request must never leak into the next one.
+		_, body = get(t, srv, "/recommend?user=user-2&time=115&k=3&exclude="+first)
+		var r1 recommendResponse
+		if err := json.Unmarshal(body, &r1); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range r1.Recommendations {
+			if rec.Item == first {
+				t.Fatalf("round %d: excluded %s recommended", i, first)
+			}
+		}
+		if r1.Recommendations[0].Item != second {
+			t.Fatalf("round %d: excluding %s should promote %s, got %s",
+				i, first, second, r1.Recommendations[0].Item)
+		}
+		_, body = get(t, srv, "/recommend?user=user-2&time=115&k=3&exclude="+second)
+		var r2 recommendResponse
+		if err := json.Unmarshal(body, &r2); err != nil {
+			t.Fatal(err)
+		}
+		if r2.Recommendations[0].Item != first {
+			t.Fatalf("round %d: excluding %s should keep %s first, got %s",
+				i, second, first, r2.Recommendations[0].Item)
+		}
+	}
+}
+
+func postJSON(t *testing.T, srv *Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func TestRecommendBatch(t *testing.T) {
+	srv, _ := testServer(t)
+	// Single-endpoint answers are the ground truth for the batch path.
+	_, body := get(t, srv, "/recommend?user=user-2&time=115&k=4")
+	var single recommendResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, srv, "/recommend/batch",
+		`{"queries":[
+			{"user":"user-2","time":115,"k":4},
+			{"user":"nobody","time":115,"k":4},
+			{"user":"user-0","time":100},
+			{"user":"user-2","time":115,"k":4,"exclude":["`+single.Recommendations[0].Item+`"]}
+		]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var batch batchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 4 {
+		t.Fatalf("got %d results", len(batch.Results))
+	}
+	// Entry 0 must equal the single endpoint bit-for-bit.
+	r0 := batch.Results[0]
+	if r0.Error != "" || r0.Interval != single.Interval || len(r0.Recommendations) != len(single.Recommendations) {
+		t.Fatalf("batch[0] = %+v, want %+v", r0, single)
+	}
+	for i := range r0.Recommendations {
+		if r0.Recommendations[i] != single.Recommendations[i] {
+			t.Errorf("batch[0][%d] = %+v, single %+v", i, r0.Recommendations[i], single.Recommendations[i])
+		}
+	}
+	// Entry 1 fails individually without sinking the batch.
+	if batch.Results[1].Error == "" || len(batch.Results[1].Recommendations) != 0 {
+		t.Errorf("batch[1] = %+v, want per-query error", batch.Results[1])
+	}
+	// Entry 2 uses the default k.
+	if batch.Results[2].Error != "" || len(batch.Results[2].Recommendations) != 10 {
+		t.Errorf("batch[2] = %+v, want 10 default recommendations", batch.Results[2])
+	}
+	// Entry 3 respects its exclusion.
+	for _, rec := range batch.Results[3].Recommendations {
+		if rec.Item == single.Recommendations[0].Item {
+			t.Error("batch exclusion ignored")
+		}
+	}
+}
+
+func TestRecommendBatchErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp, _ := get(t, srv, "/recommend/batch"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch: status %d, want 405", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv, "/recommend/batch", "{broken"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv, "/recommend/batch", `{"queries":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	for i := 0; i <= maxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"user":"user-1","time":1}`)
+	}
+	sb.WriteString(`]}`)
+	if resp, _ := postJSON(t, srv, "/recommend/batch", sb.String()); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, body := postJSON(t, srv, "/recommend/batch", `{"queries":[{"user":"user-1","time":1,"k":-3}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var batch batchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Error == "" {
+		t.Error("negative k accepted")
 	}
 }
 

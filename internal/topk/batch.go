@@ -1,0 +1,39 @@
+package topk
+
+import "tcam/internal/model"
+
+// BatchQuery is one temporal top-k query of a batch: recommend K items
+// for user U at interval T, filtered by the optional Exclude.
+type BatchQuery struct {
+	U, T    int
+	K       int
+	Exclude Exclude
+}
+
+// BatchResult pairs one batch query's ranked items with its work stats.
+// Results is caller-owned.
+type BatchResult struct {
+	Results []Result
+	Stats   Stats
+}
+
+// QueryBatch answers a slice of queries concurrently, fanning contiguous
+// chunks across workers (non-positive workers means one per CPU). Each
+// worker reuses a single pooled Searcher for its whole chunk, so the
+// per-query cost matches the allocation-free fast path plus one result
+// copy. Results align with queries by position and are each
+// bit-identical to BruteForce; ts must be the scorer the index was
+// built from.
+func (ix *Index) QueryBatch(ts model.TopicScorer, queries []BatchQuery, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	model.ParallelRanges(len(queries), model.Workers(workers), func(_, lo, hi int) {
+		s := ix.AcquireSearcher()
+		defer s.Release()
+		for i := lo; i < hi; i++ {
+			q := queries[i]
+			res, st := s.Query(ts, q.U, q.T, q.K, q.Exclude)
+			out[i] = BatchResult{Results: cloneResults(res), Stats: st}
+		}
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package topk
+
+import (
+	"fmt"
+
+	"tcam/internal/model"
+)
+
+// Searcher holds the per-query scratch of the extended Threshold
+// Algorithm — topic cursors, an epoch-stamped seen table, the list
+// priority queue and the result heap — so steady-state queries allocate
+// nothing. A Searcher is bound to the Index that created it and is NOT
+// safe for concurrent use; concurrent callers take one each from the
+// index pool via AcquireSearcher.
+//
+// Result slices returned by a Searcher are owned by it and valid only
+// until its next query or Release; callers that retain results must
+// copy them (Index.Query and Index.QueryBatch do).
+type Searcher struct {
+	ix      *Index
+	pos     []int     // per-topic cursor into the sorted lists
+	seen    []uint32  // epoch stamps: seen[v] == epoch ⇔ v examined
+	epoch   uint32    // current query's stamp; bumping it clears seen in O(1)
+	query   []float64 // scratch for model.QueryWeighter fast path
+	pq      listHeap
+	results resultHeap
+	out     []Result
+}
+
+// NewSearcher returns a fresh reusable searcher bound to the index. Most
+// callers should prefer AcquireSearcher, which recycles scratch through
+// the index pool.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{
+		ix:   ix,
+		pos:  make([]int, ix.numTopics),
+		seen: make([]uint32, ix.numItems),
+	}
+}
+
+// AcquireSearcher takes a searcher from the index's pool, creating one
+// when the pool is empty. Pair with Release.
+func (ix *Index) AcquireSearcher() *Searcher {
+	if s, ok := ix.searchers.Get().(*Searcher); ok {
+		return s
+	}
+	return ix.NewSearcher()
+}
+
+// Release returns the searcher to its index's pool. The searcher (and
+// any result slice it returned) must not be used afterwards.
+func (s *Searcher) Release() { s.ix.searchers.Put(s) }
+
+// Query answers the temporal top-k query (u, t), writing results into
+// searcher-owned scratch. When ts implements model.QueryWeighter the ϑq
+// vector is materialized into reusable scratch too, making the whole
+// call allocation-free at steady state.
+func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Result, Stats) {
+	if qw, ok := ts.(model.QueryWeighter); ok {
+		if cap(s.query) < s.ix.numTopics {
+			s.query = make([]float64, s.ix.numTopics)
+		}
+		s.query = s.query[:s.ix.numTopics]
+		qw.QueryWeightsInto(u, t, s.query)
+		return s.QueryWeights(s.query, k, exclude)
+	}
+	return s.QueryWeights(ts.QueryWeights(u, t), k, exclude)
+}
+
+// QueryWeights runs Algorithm 1 for an explicit ϑq vector. The result
+// set and scores match BruteForce exactly (ties broken by ascending
+// item index); the returned slice is valid until the searcher's next
+// query or Release.
+//
+// Two scratch tricks keep the loop allocation- and rescan-free without
+// changing results:
+//
+//   - seen is a stamp table: bumping epoch invalidates every stamp at
+//     once, so reuse needs no O(V) clear (except on the ~never-hit
+//     uint32 wraparound).
+//   - the threshold S_TA is maintained incrementally — each pop changes
+//     only the popped list's head, an O(1) delta instead of the O(K)
+//     resum. Floating-point drift from the running sum could terminate a
+//     hair early, so the exact O(K) recompute confirms the bound before
+//     the loop actually breaks; an inflated running value merely delays
+//     the cheap check and never affects correctness.
+func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
+	ix := s.ix
+	st := Stats{}
+	if k <= 0 {
+		return nil, st
+	}
+	if len(query) != ix.numTopics {
+		panic(fmt.Sprintf("topk: query weights length %d, index has %d topics", len(query), ix.numTopics))
+	}
+
+	s.epoch++
+	if s.epoch == 0 { // stamp wraparound: reset the table once per 2^32 queries
+		clear(s.seen)
+		s.epoch = 1
+	}
+
+	// Cursor position per topic; exhausted or zero-weight lists excluded
+	// from the priority queue and the threshold.
+	pos := s.pos
+	s.pq = s.pq[:0]
+	threshold := 0.0
+	for z, w := range query {
+		if w > 0 && len(ix.lists[z]) > 0 {
+			pos[z] = 0
+			s.pq.push(listRef{topic: z, priority: ix.Score(query, int(ix.lists[z][0].item))})
+			threshold += w * ix.lists[z][0].weight
+		} else {
+			pos[z] = len(ix.lists[z])
+		}
+	}
+	if len(s.pq) == 0 {
+		return nil, st
+	}
+
+	s.results.reset(k)
+	results := &s.results
+
+	for len(s.pq) > 0 {
+		// Early termination (Lines 18–21 of Algorithm 1): the k-th
+		// result beats every unseen item's best possible score. Strict
+		// inequality keeps ties exact: an unseen item could equal the
+		// threshold, and the deterministic tie-break might prefer it.
+		if results.Len() == k && results.min().Score > threshold {
+			threshold = ix.threshold(query, pos) // exact confirm (see doc comment)
+			if results.min().Score > threshold {
+				break
+			}
+		}
+		ref := s.pq.pop()
+		z := ref.topic
+		list := ix.lists[z]
+		item := int(list[pos[z]].item)
+		st.ListPops++
+		if s.seen[item] != s.epoch {
+			s.seen[item] = s.epoch
+			if exclude == nil || !exclude(item) {
+				st.ItemsExamined++
+				results.offer(Result{Item: item, Score: ix.Score(query, item)})
+			}
+		}
+		// Advance this list's cursor, fold the head change into the
+		// running threshold, and re-queue it (Lines 28–33).
+		w := query[z]
+		threshold -= w * list[pos[z]].weight
+		pos[z]++
+		if pos[z] < len(list) {
+			threshold += w * list[pos[z]].weight
+			ref.priority = ix.Score(query, int(list[pos[z]].item))
+			s.pq.push(ref)
+		}
+	}
+	s.out = results.appendSorted(s.out[:0])
+	if len(s.out) == 0 {
+		return nil, st
+	}
+	return s.out, st
+}

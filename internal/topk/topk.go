@@ -10,12 +10,17 @@
 // which the model.TopicScorer interface captures. BPTF's trilinear form
 // has signed factors and therefore no such decomposition, which is why
 // the paper (and this package) can only rank it brute-force.
+//
+// The serving fast path keeps steady-state queries allocation-free: a
+// Searcher holds all per-query scratch (cursors, an epoch-stamped seen
+// table, both heaps) and is recycled through a per-index sync.Pool, and
+// QueryBatch fans query slices across workers with one pooled Searcher
+// each. All paths return results bit-identical to BruteForce.
 package topk
 
 import (
-	"container/heap"
-	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"tcam/internal/model"
 )
@@ -58,24 +63,26 @@ func BruteForce(r model.Recommender, u, t, k int, exclude Exclude) ([]Result, St
 		}
 	}
 	st.ItemsExamined = n
-	h := newResultHeap(k)
+	h := resultHeap{k: k}
 	for v := 0; v < n; v++ {
 		if exclude != nil && exclude(v) {
 			continue
 		}
 		h.offer(Result{Item: v, Score: scores[v]})
 	}
-	return h.sorted(), st
+	return h.appendSorted(make([]Result, 0, h.Len())), st
 }
 
 // Index holds the K sorted per-topic item lists of Section 4.2 plus a
 // transposed ϕ table for O(K) full-score evaluation. Building is
-// O(K·V·logV); queries are read-only and safe for concurrent use.
+// O(K·V·logV), parallelized across topics; queries are read-only and
+// safe for concurrent use.
 type Index struct {
 	numTopics int
 	numItems  int
 	lists     [][]entry
 	byItem    []float64 // V×K transposed topic weights: ϕ_zv at [v*K+z]
+	searchers sync.Pool // *Searcher scratch, recycled across queries
 }
 
 type entry struct {
@@ -86,6 +93,12 @@ type entry struct {
 // BuildIndex precomputes the sorted lists (and the transposed weight
 // table) for every topic of ts. Zero-weight entries are kept: the lists
 // must cover the catalog for the threshold bound to hold as k grows.
+//
+// Work parallelizes in two passes: list sorting fans out one topic per
+// task, and the ϕ transpose fans out over item ranges so each worker
+// writes a contiguous region of byItem (a topic-major split would
+// interleave writes every K entries and thrash cache lines between
+// workers).
 func BuildIndex(ts model.TopicScorer) *Index {
 	k, v := ts.NumTopics(), ts.NumItems()
 	ix := &Index{
@@ -94,21 +107,38 @@ func BuildIndex(ts model.TopicScorer) *Index {
 		lists:     make([][]entry, k),
 		byItem:    make([]float64, v*k),
 	}
+	topics := make([][]float64, k)
 	for z := 0; z < k; z++ {
-		weights := ts.TopicItems(z)
-		list := make([]entry, v)
-		for item := 0; item < v; item++ {
-			list[item] = entry{item: int32(item), weight: weights[item]}
-			ix.byItem[item*k+z] = weights[item]
-		}
-		sort.Slice(list, func(a, b int) bool {
-			if list[a].weight != list[b].weight {
-				return list[a].weight > list[b].weight
-			}
-			return list[a].item < list[b].item
-		})
-		ix.lists[z] = list
+		topics[z] = ts.TopicItems(z)
 	}
+	workers := model.Workers(0)
+	model.ParallelRanges(k, workers, func(_, lo, hi int) {
+		for z := lo; z < hi; z++ {
+			weights := topics[z]
+			list := make([]entry, v)
+			for item := 0; item < v; item++ {
+				list[item] = entry{item: int32(item), weight: weights[item]}
+			}
+			slices.SortFunc(list, func(a, b entry) int {
+				if a.weight != b.weight {
+					if a.weight > b.weight {
+						return -1
+					}
+					return 1
+				}
+				return int(a.item) - int(b.item)
+			})
+			ix.lists[z] = list
+		}
+	})
+	model.ParallelRanges(v, workers, func(_, lo, hi int) {
+		for item := lo; item < hi; item++ {
+			row := ix.byItem[item*k : (item+1)*k]
+			for z, weights := range topics {
+				row[z] = weights[item]
+			}
+		}
+	})
 	return ix
 }
 
@@ -136,75 +166,41 @@ func (ix *Index) Score(query []float64, item int) float64 {
 // (only QueryWeights is consulted). The result set and scores match
 // BruteForce exactly (ties broken by ascending item index), but the
 // algorithm stops after examining only as many items as the threshold
-// bound requires.
+// bound requires. Scratch comes from the index's Searcher pool; the
+// returned slice is freshly allocated and owned by the caller.
 func (ix *Index) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Result, Stats) {
-	return ix.QueryWeights(ts.QueryWeights(u, t), k, exclude)
+	s := ix.AcquireSearcher()
+	res, st := s.Query(ts, u, t, k, exclude)
+	out := cloneResults(res)
+	s.Release()
+	return out, st
 }
 
 // QueryWeights is Query for callers that already hold the ϑq vector
 // (e.g. a server that caches per-user query vectors).
 func (ix *Index) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
-	st := Stats{}
-	if k <= 0 {
-		return nil, st
-	}
-	if len(query) != ix.numTopics {
-		panic(fmt.Sprintf("topk: query weights length %d, index has %d topics", len(query), ix.numTopics))
-	}
-
-	// Cursor position per topic; exhausted or zero-weight lists excluded
-	// from the priority queue and the threshold.
-	pos := make([]int, ix.numTopics)
-	pq := &listHeap{}
-	for z, w := range query {
-		if w > 0 && len(ix.lists[z]) > 0 {
-			heap.Push(pq, listRef{topic: z, priority: ix.Score(query, int(ix.lists[z][0].item))})
-		} else {
-			pos[z] = len(ix.lists[z])
-		}
-	}
-	if pq.Len() == 0 {
-		return nil, st
-	}
-
-	seen := make([]bool, ix.numItems)
-	results := newResultHeap(k)
-	threshold := ix.threshold(query, pos)
-
-	for pq.Len() > 0 {
-		// Early termination (Lines 18–21 of Algorithm 1): the k-th
-		// result beats every unseen item's best possible score. Strict
-		// inequality keeps ties exact: an unseen item could equal the
-		// threshold, and the deterministic tie-break might prefer it.
-		if results.Len() == k && results.min().Score > threshold {
-			break
-		}
-		ref := heap.Pop(pq).(listRef)
-		z := ref.topic
-		list := ix.lists[z]
-		item := int(list[pos[z]].item)
-		st.ListPops++
-		if !seen[item] {
-			seen[item] = true
-			if exclude == nil || !exclude(item) {
-				st.ItemsExamined++
-				results.offer(Result{Item: item, Score: ix.Score(query, item)})
-			}
-		}
-		// Advance this list's cursor and re-queue it (Lines 28–33).
-		pos[z]++
-		if pos[z] < len(list) {
-			ref.priority = ix.Score(query, int(list[pos[z]].item))
-			heap.Push(pq, ref)
-		}
-		threshold = ix.threshold(query, pos)
-	}
-	return results.sorted(), st
+	s := ix.AcquireSearcher()
+	res, st := s.QueryWeights(query, k, exclude)
+	out := cloneResults(res)
+	s.Release()
+	return out, st
 }
 
-// threshold computes S_TA (Equation 23): the maximum possible score of
-// any unexamined item, aggregating each active list's current head
-// weight.
+// cloneResults copies a searcher-owned result slice into caller-owned
+// memory (nil for an empty result, matching historical behavior).
+func cloneResults(res []Result) []Result {
+	if len(res) == 0 {
+		return nil
+	}
+	out := make([]Result, len(res))
+	copy(out, res)
+	return out
+}
+
+// threshold computes S_TA (Equation 23) from scratch: the maximum
+// possible score of any unexamined item, aggregating each active list's
+// current head weight. The hot path maintains this value incrementally
+// and only calls the exact recompute to confirm termination.
 func (ix *Index) threshold(query []float64, pos []int) float64 {
 	var s float64
 	for z, w := range query {
@@ -224,51 +220,111 @@ type listRef struct {
 }
 
 // listHeap is a max-heap of listRefs (ties broken by topic index for
-// determinism).
+// determinism). Heap operations are hand-rolled on the concrete element
+// type: container/heap would box every listRef into an interface and
+// allocate on each push.
 type listHeap []listRef
 
-func (h listHeap) Len() int { return len(h) }
-func (h listHeap) Less(a, b int) bool {
+func (h listHeap) less(a, b int) bool {
 	if h[a].priority != h[b].priority {
 		return h[a].priority > h[b].priority
 	}
 	return h[a].topic < h[b].topic
 }
-func (h listHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *listHeap) Push(x interface{}) { *h = append(*h, x.(listRef)) }
-func (h *listHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *listHeap) push(x listRef) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *listHeap) pop() listRef {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && s.less(r, l) {
+			best = r
+		}
+		if !s.less(best, i) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
 }
 
 // resultHeap keeps the best k results as a min-heap on (score, -item):
 // the root is the current k-th best, evicted when something better
-// arrives. Ties prefer smaller item indices, matching BruteForce.
+// arrives. Ties prefer smaller item indices, matching BruteForce. Like
+// listHeap, operations are hand-rolled to stay allocation-free.
 type resultHeap struct {
 	k     int
 	items []Result
 }
 
-func newResultHeap(k int) *resultHeap { return &resultHeap{k: k} }
+// reset prepares the heap for a fresh query of size k, keeping the
+// backing array.
+func (h *resultHeap) reset(k int) {
+	h.k = k
+	h.items = h.items[:0]
+}
 
 func (h *resultHeap) Len() int { return len(h.items) }
-func (h *resultHeap) Less(a, b int) bool {
+
+func (h *resultHeap) less(a, b int) bool {
 	if h.items[a].Score != h.items[b].Score {
 		return h.items[a].Score < h.items[b].Score
 	}
 	return h.items[a].Item > h.items[b].Item
 }
-func (h *resultHeap) Swap(a, b int)      { h.items[a], h.items[b] = h.items[b], h.items[a] }
-func (h *resultHeap) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+
+func (h *resultHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *resultHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
 }
 
 // min returns the current k-th best result. Only valid when Len() > 0.
@@ -278,22 +334,37 @@ func (h *resultHeap) min() Result { return h.items[0] }
 // r beats it.
 func (h *resultHeap) offer(r Result) {
 	if len(h.items) < h.k {
-		heap.Push(h, r)
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
 		return
 	}
 	worst := h.items[0]
 	if r.Score > worst.Score || (r.Score == worst.Score && r.Item < worst.Item) {
 		h.items[0] = r
-		heap.Fix(h, 0)
+		h.down(0)
 	}
 }
 
-// sorted drains the heap into descending-score (then ascending-item)
-// order.
-func (h *resultHeap) sorted() []Result {
-	out := make([]Result, len(h.items))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+// appendSorted drains the heap onto dst in descending-score (then
+// ascending-item) order and returns the extended slice.
+func (h *resultHeap) appendSorted(dst []Result) []Result {
+	n := len(h.items)
+	base := len(dst)
+	dst = append(dst, h.items...) // reserve space; overwritten below
+	for i := base + n - 1; i >= base; i-- {
+		dst[i] = h.popMin()
 	}
-	return out
+	return dst
+}
+
+// popMin removes and returns the worst retained result.
+func (h *resultHeap) popMin() Result {
+	x := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return x
 }

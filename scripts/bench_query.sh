@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the serving benchmarks (TA query fast path, index build, batch
+# endpoint) and snapshots the numbers into BENCH_query.json at the repo
+# root. Pass a -benchtime value as $1 to trade precision for runtime
+# (default 1x Go's own).
+#
+# Usage: scripts/bench_query.sh [benchtime]
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-1s}
+out=BENCH_query.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTAQuery|BenchmarkBuildIndex|BenchmarkQueryBatch' \
+    -benchmem -benchtime "$benchtime" ./internal/topk/ | tee "$raw"
+go test -run '^$' -bench 'BenchmarkServerRecommend' \
+    -benchmem -benchtime "$benchtime" ./internal/server/ | tee -a "$raw"
+
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { print "{"; printf "  \"cpus\": %d,\n  \"benchmarks\": [\n", ncpu }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    line = line "}"
+    if (n++) printf ",\n"
+    printf "%s", line
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+echo "wrote $out"

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repo hygiene gate: formatting, vet, and race-enabled tests on the
+# concurrency-sensitive packages (the pooled TA searcher and the HTTP
+# serving layer), then the full suite without -race.
+#
+# Usage: scripts/check.sh [-short]
+#   -short   skip the full (slow) test suite; run only the race gate
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+
+# The packages where scratch reuse and pooling could race.
+go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/
+
+if [ "${1:-}" != "-short" ]; then
+    go test ./...
+fi
+echo "check.sh: OK"

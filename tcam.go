@@ -233,6 +233,55 @@ func (r *Recommender) RecommendExcluding(userID string, when int64, k int, exclu
 	return r.recommend(userID, when, k, func(v int) bool { return banned[v] })
 }
 
+// BatchQuery is one entry of RecommendBatch: a temporal top-k query
+// with an optional item-ID exclusion set. K defaults to 10 when zero.
+type BatchQuery struct {
+	UserID     string
+	When       int64
+	K          int
+	ExcludeIDs []string
+}
+
+// RecommendBatch answers many temporal top-k queries in one call,
+// fanning them across CPUs with pooled Threshold-Algorithm scratch per
+// worker — the serving path for bulk workloads (eval sweeps, feed
+// precomputation). Results align with queries by position; any unknown
+// user fails the whole batch.
+func (r *Recommender) RecommendBatch(queries []BatchQuery) ([][]Recommendation, error) {
+	batch := make([]topk.BatchQuery, len(queries))
+	for i, q := range queries {
+		u, ok := r.lookupUser(q.UserID)
+		if !ok {
+			return nil, fmt.Errorf("tcam: unknown user %q", q.UserID)
+		}
+		k := q.K
+		if k <= 0 {
+			k = 10
+		}
+		var exclude topk.Exclude
+		if len(q.ExcludeIDs) > 0 {
+			banned := make(map[int]bool, len(q.ExcludeIDs))
+			for _, id := range q.ExcludeIDs {
+				if v, ok := r.lookupItem(id); ok {
+					banned[v] = true
+				}
+			}
+			exclude = func(v int) bool { return banned[v] }
+		}
+		batch[i] = topk.BatchQuery{U: u, T: r.bundle.Grid.IntervalOf(q.When), K: k, Exclude: exclude}
+	}
+	results := r.index.QueryBatch(r.bundle.Scorer(), batch, 0)
+	out := make([][]Recommendation, len(results))
+	for i, br := range results {
+		recs := make([]Recommendation, len(br.Results))
+		for j, res := range br.Results {
+			recs[j] = Recommendation{ItemID: r.bundle.Items[res.Item], Score: res.Score}
+		}
+		out[i] = recs
+	}
+	return out, nil
+}
+
 func (r *Recommender) recommend(userID string, when int64, k int, exclude topk.Exclude) ([]Recommendation, error) {
 	u, ok := r.lookupUser(userID)
 	if !ok {

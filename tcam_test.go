@@ -237,3 +237,56 @@ func TestDefaultOptionsMatchPaper(t *testing.T) {
 		t.Error("default should be the paper's best performer, W-TTCAM")
 	}
 }
+
+func TestRecommendBatchMatchesSequential(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []BatchQuery{
+		{UserID: userName("follower", 3), When: 4, K: 3},
+		{UserID: userName("loyal", 2), When: 7, K: 5},
+		{UserID: userName("follower", 0), When: 4}, // K=0 defaults to 10
+		{UserID: userName("loyal", 0), When: 2, K: 3, ExcludeIDs: []string{"feed-a", "feed-b"}},
+	}
+	batch, err := rec.RecommendBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d batch results for %d queries", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		k := q.K
+		if k <= 0 {
+			k = 10
+		}
+		want, err := rec.RecommendExcluding(q.UserID, q.When, k, q.ExcludeIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if len(got) != len(want) {
+			t.Fatalf("query %d: batch returned %d recs, sequential %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("query %d rank %d: batch %+v != sequential %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRecommendBatchUnknownUser(t *testing.T) {
+	rec, err := Train(newsLog(t), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rec.RecommendBatch([]BatchQuery{
+		{UserID: userName("follower", 1), When: 4, K: 3},
+		{UserID: "nobody", When: 4, K: 3},
+	})
+	if err == nil {
+		t.Error("RecommendBatch accepted an unknown user")
+	}
+}
