@@ -39,7 +39,7 @@ func main() {
 	}
 }
 
-func run(expID string, all, showIDs bool, scale float64, fast bool, seed int64, outPath string, workers, burnin, samples int) error {
+func run(expID string, all, showIDs bool, scale float64, fast bool, seed int64, outPath string, workers, burnin, samples int) (err error) {
 	if showIDs {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
@@ -65,11 +65,15 @@ func run(expID string, all, showIDs bool, scale float64, fast bool, seed int64, 
 
 	var w io.Writer = os.Stdout
 	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
+		f, cerr := os.Create(outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
@@ -81,7 +85,9 @@ func run(expID string, all, showIDs bool, scale float64, fast bool, seed int64, 
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", expID)
 		}
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		if _, werr := fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title); werr != nil {
+			return werr
+		}
 		return e.Run(runner, w)
 	default:
 		return fmt.Errorf("pass -all, -exp <id>, or -list")

@@ -1,0 +1,74 @@
+// Command tcamvet runs the repo's static-analysis suite: hotpath
+// (//tcam:hotpath functions stay allocation-free), floatcmp (no
+// floating-point ==/!=), globalrand (seeded randomness only), panicfmt
+// (constant pkg:-prefixed panic messages) and errcheck (no silently
+// dropped errors in cmd/ and internal/).
+//
+// Usage:
+//
+//	go run ./cmd/tcamvet ./...
+//	go run ./cmd/tcamvet -checks hotpath,floatcmp ./internal/topk
+//
+// Findings print as file:line:col: check: message and make the exit
+// status 1; load or type-check failures exit 2. Suppress a single
+// finding with `//tcamvet:ignore <check> <justification>` on or above
+// the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcam/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tcamvet", flag.ContinueOnError)
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	checks, err := analysis.ByName(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	moduleDir, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	dirs, err := analysis.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(loader, dirs, checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tcamvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunCleanPackage(t *testing.T) {
+	if got := run([]string{"-checks", "floatcmp", "../../internal/mat"}); got != 0 {
+		t.Fatalf("run on clean package = %d, want 0", got)
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	if got := run([]string{"-checks", "floatcmp", "../../internal/analysis/testdata/src/floatcmp"}); got != 1 {
+		t.Fatalf("run on fixture = %d, want 1", got)
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	if got := run([]string{"-checks", "nosuchcheck", "."}); got != 2 {
+		t.Fatalf("run with unknown check = %d, want 2", got)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	if got := run([]string{"./no/such/dir"}); got != 2 {
+		t.Fatalf("run with missing dir = %d, want 2", got)
+	}
+}

@@ -114,7 +114,7 @@ func topTopics(theta []float64, n int) []int {
 func contextTopItems(world *datagen.World, m *ttcam.Model, theta []float64, n int) []string {
 	scores := make([]float64, m.NumItems())
 	for x, w := range theta {
-		if w == 0 {
+		if w <= 0 {
 			continue
 		}
 		row := m.TimeTopic(x)

@@ -1,0 +1,253 @@
+// Package analysis implements tcamvet, the repo's static-analysis suite.
+// It enforces the invariants the serving and training layers rely on but
+// cannot express in the type system:
+//
+//   - hotpath: functions annotated //tcam:hotpath stay allocation-free
+//     (no make/new, map/slice literals, appends to non-parameter slices,
+//     fmt calls, string concatenation, closures, or interface boxing).
+//   - floatcmp: no ==/!= between floating-point operands; exact
+//     comparisons hide in tie-breaks and must be rewritten or justified.
+//   - globalrand: library packages draw randomness only from an explicit
+//     seeded *rand.Rand, never the package-level math/rand source, so
+//     every run is reproducible.
+//   - panicfmt: panics are precondition checks carrying a constant,
+//     "pkg:"-prefixed message.
+//   - errcheck: no error return is silently dropped in cmd/ or internal/
+//     (a visible `_ =` discard is allowed).
+//
+// The driver is pure stdlib: packages are discovered by walking
+// directories, parsed with go/parser and type-checked with go/types,
+// resolving module-local imports from source and standard-library
+// imports through go/importer. Findings are suppressed line-by-line with
+// `//tcamvet:ignore <check> <justification>` directives; a directive
+// without a justification is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that fired and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg) []Diagnostic
+}
+
+// All lists every analyzer in the suite, in reporting order.
+var All = []*Analyzer{HotPath, FloatCmp, GlobalRand, PanicFmt, ErrCheck}
+
+// ByName returns the analyzers matching the comma-separated list, or All
+// when the list is empty. Unknown names are an error.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range All {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown check %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run loads every package directory and applies the given analyzers,
+// returning the surviving findings sorted by position. Suppression
+// directives are honored here so every caller (CLI, tests) sees the
+// same filtering.
+func Run(l *Loader, dirs []string, checks []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, RunPackage(p, checks)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and filters the
+// findings through the package's //tcamvet:ignore directives.
+func RunPackage(p *Pkg, checks []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range checks {
+		diags = append(diags, a.Run(p)...)
+	}
+	ig := collectIgnores(p)
+	diags = append(diags, ig.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// diag builds a Diagnostic at the given node position.
+func diag(p *Pkg, pos token.Pos, check, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// ignoreSet records which (file, line) pairs suppress which checks. A
+// directive suppresses findings on its own line (trailing comment) and
+// on the line immediately below (comment-above style).
+type ignoreSet struct {
+	byFileLine map[string]map[int]map[string]bool
+	malformed  []Diagnostic
+}
+
+const ignorePrefix = "//tcamvet:ignore"
+
+func collectIgnores(p *Pkg) *ignoreSet {
+	ig := &ignoreSet{byFileLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos: pos, Check: "ignore",
+						Message: "tcamvet:ignore needs a check name and a justification",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos: pos, Check: "ignore",
+						Message: fmt.Sprintf("tcamvet:ignore %s needs a justification after the check name", fields[0]),
+					})
+				}
+				for _, check := range strings.Split(fields[0], ",") {
+					ig.add(pos.Filename, pos.Line, check)
+					ig.add(pos.Filename, pos.Line+1, check)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) add(file string, line int, check string) {
+	lines := ig.byFileLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ig.byFileLine[file] = lines
+	}
+	checks := lines[line]
+	if checks == nil {
+		checks = make(map[string]bool)
+		lines[line] = checks
+	}
+	checks[check] = true
+}
+
+func (ig *ignoreSet) suppresses(d Diagnostic) bool {
+	return ig.byFileLine[d.Pos.Filename][d.Pos.Line][d.Check]
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error type.
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+// pkgFunc reports whether call invokes the package-level function
+// pkgPath.name (resolved through the type info, so import renames and
+// shadowing are handled).
+func pkgFunc(p *Pkg, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return selectorPkgPath(p, sel) == pkgPath
+}
+
+// selectorPkgPath returns the import path when sel is a qualified
+// identifier (pkg.Name), or "" otherwise.
+func selectorPkgPath(p *Pkg, sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isBuiltin reports whether call invokes the named built-in function.
+func isBuiltin(p *Pkg, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck forbids silently dropped error returns in cmd/ and internal/
+// packages: a call whose results include an error may not stand alone
+// as a statement (including defer and go statements). An explicit
+// `_ = f()` discard is allowed — it is visible in review and greppable —
+// as are the print functions whose errors are unactionable:
+// fmt.Print/Printf/Println, fmt.Fprint* to os.Stdout/os.Stderr or to an
+// in-memory bytes.Buffer/strings.Builder, and methods on those two
+// types (which are documented to never return a meaningful error).
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently discarded error returns in cmd/ and internal/",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pkg) []Diagnostic {
+	if !errCheckApplies(p) {
+		return nil
+	}
+	var diags []Diagnostic
+	check := func(call *ast.CallExpr, how string) {
+		if name, ok := dropsError(p, call); ok {
+			diags = append(diags, diag(p, call.Pos(), "errcheck",
+				"%s of %s discards its error", how, name))
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					check(call, "call")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "defer")
+			case *ast.GoStmt:
+				check(n.Call, "go")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// errCheckApplies scopes the check to the module root, cmd/ and
+// internal/ trees; examples are demo code and exempt.
+func errCheckApplies(p *Pkg) bool {
+	return p.Path == p.Module ||
+		strings.HasPrefix(p.Path, p.Module+"/cmd/") ||
+		strings.HasPrefix(p.Path, p.Module+"/internal/")
+}
+
+// dropsError reports whether the bare call discards an error result,
+// returning a printable name for the callee.
+func dropsError(p *Pkg, call *ast.CallExpr) (string, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return "", false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	results := sig.Results()
+	hasErr := false
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			hasErr = true
+			break
+		}
+	}
+	if !hasErr || errCheckExcluded(p, call) {
+		return "", false
+	}
+	return calleeName(call), true
+}
+
+// errCheckExcluded implements the documented exclusion list.
+func errCheckExcluded(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selectorPkgPath(p, sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && unactionableWriter(p, call.Args[0])
+		}
+		return false
+	}
+	// Methods on in-memory writers never return a meaningful error.
+	return isMemWriter(p.Info.TypeOf(sel.X))
+}
+
+// unactionableWriter reports writers whose errors carry no signal:
+// the process-standard streams and in-memory buffers.
+func unactionableWriter(p *Pkg, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && selectorPkgPath(p, sel) == "os" {
+		if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+			return true
+		}
+	}
+	return isMemWriter(p.Info.TypeOf(e))
+}
+
+func isMemWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}
+
+// calleeName renders the called function for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "function"
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp forbids == and != between floating-point operands. After
+// rounding, two mathematically equal expressions rarely compare equal,
+// so float equality is almost always a dormant bug; where an exact
+// comparison is intentional (deterministic tie-breaks, exact-zero skip
+// tests) it must either be rewritten with ordered comparisons or carry
+// a //tcamvet:ignore floatcmp directive explaining why exactness is
+// safe. Test files are outside the suite's scope and exempt.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= between floating-point operands",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.Info.TypeOf(be.X)) || isFloat(p.Info.TypeOf(be.Y)) {
+				diags = append(diags, diag(p, be.OpPos, "floatcmp",
+					"floating-point %s comparison; use ordered comparisons or justify with //tcamvet:ignore", be.Op))
+			}
+			return true
+		})
+	}
+	return diags
+}

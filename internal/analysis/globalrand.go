@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand keeps library code reproducible: every random draw must
+// come from an explicitly seeded *rand.Rand, never from the shared
+// package-level math/rand source (whose stream depends on whatever else
+// the process has drawn, and on auto-seeding since Go 1.20).
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) and type names
+// are fine; main packages (command entry points) are exempt.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "library packages must not draw from the global math/rand source",
+	Run:  runGlobalRand,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// that consume the global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+func runGlobalRand(p *Pkg) []Diagnostic {
+	if p.Types.Name() == "main" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := selectorPkgPath(p, sel)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if globalRandFuncs[sel.Sel.Name] {
+				diags = append(diags, diag(p, sel.Pos(), "globalrand",
+					"rand.%s draws from the global source; use a seeded *rand.Rand", sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return diags
+}

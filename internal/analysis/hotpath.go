@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the serving-layer allocation contract: a function
+// annotated //tcam:hotpath may not contain
+//
+//   - make or new calls,
+//   - map or slice composite literals,
+//   - append to slices not rooted in a parameter, receiver or named
+//     result (growing caller-owned scratch is amortized and allowed;
+//     growing anything else allocates per call),
+//   - calls into fmt,
+//   - string concatenation,
+//   - closures (func literals capture and escape),
+//   - conversions of concrete non-pointer-shaped values to interface
+//     types (boxing allocates).
+//
+// Arguments of panic calls are exempt: a precondition failure never
+// returns, so its message formatting cannot affect steady-state cost.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//tcam:hotpath functions must stay allocation-free",
+	Run:  runHotPath,
+}
+
+const hotPathDirective = "//tcam:hotpath"
+
+func runHotPath(p *Pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			diags = append(diags, checkHotPathFunc(p, fd)...)
+		}
+	}
+	return diags
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //tcam:hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathFunc(p *Pkg, fd *ast.FuncDecl) []Diagnostic {
+	name := fd.Name.Name
+	owned := ownedObjects(p, fd)
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, diag(p, pos, "hotpath", format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "panic") {
+				return false // error path: never returns, cost irrelevant
+			}
+			switch {
+			case isBuiltin(p, n, "make"):
+				report(n.Pos(), "%s: make allocates in a hot path", name)
+			case isBuiltin(p, n, "new"):
+				report(n.Pos(), "%s: new allocates in a hot path", name)
+			case isBuiltin(p, n, "append"):
+				if len(n.Args) > 0 && !rootedInOwned(p, owned, n.Args[0]) {
+					report(n.Pos(), "%s: append to a slice not owned by a parameter or receiver", name)
+				}
+			default:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && selectorPkgPath(p, sel) == "fmt" {
+					report(n.Pos(), "%s: fmt.%s call in a hot path", name, sel.Sel.Name)
+				}
+			}
+			diags = append(diags, callBoxing(p, name, n)...)
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "%s: slice literal allocates in a hot path", name)
+				case *types.Map:
+					report(n.Pos(), "%s: map literal allocates in a hot path", name)
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "%s: closure in a hot path", name)
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && (isString(p.Info.TypeOf(n.X)) || isString(p.Info.TypeOf(n.Y))) {
+				report(n.Pos(), "%s: string concatenation allocates in a hot path", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(p.Info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "%s: string concatenation allocates in a hot path", name)
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if boxesInto(p, p.Info.TypeOf(lhs), n.Rhs[i]) {
+						report(n.Rhs[i].Pos(), "%s: assignment boxes a concrete value into an interface", name)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				t := p.Info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					if boxesInto(p, t, v) {
+						report(v.Pos(), "%s: declaration boxes a concrete value into an interface", name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			diags = append(diags, returnBoxing(p, name, fd, n)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// ownedObjects collects the objects a hot-path function may grow:
+// its receiver, parameters and named results.
+func ownedObjects(p *Pkg, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if obj := p.Info.Defs[id]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	return owned
+}
+
+// rootedInOwned reports whether e is derived from an owned object —
+// e.g. s.out[:0] and *h both root in their receiver.
+func rootedInOwned(p *Pkg, owned map[types.Object]bool, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return owned[p.Info.Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// callBoxing flags arguments (and conversion operands) that box a
+// concrete value into an interface.
+func callBoxing(p *Pkg, name string, call *ast.CallExpr) []Diagnostic {
+	var diags []Diagnostic
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() { // explicit conversion T(x)
+		if len(call.Args) == 1 && boxesInto(p, tv.Type, call.Args[0]) {
+			diags = append(diags, diag(p, call.Pos(),
+				"hotpath", "%s: conversion boxes a concrete value into an interface", name))
+		}
+		return diags
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, nothing boxes here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxesInto(p, pt, arg) {
+			diags = append(diags, diag(p, arg.Pos(),
+				"hotpath", "%s: argument boxes a concrete value into an interface", name))
+		}
+	}
+	return diags
+}
+
+// returnBoxing flags return values boxed into interface-typed results.
+func returnBoxing(p *Pkg, name string, fd *ast.FuncDecl, ret *ast.ReturnStmt) []Diagnostic {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return nil // bare return or tuple passthrough
+	}
+	var diags []Diagnostic
+	for i, e := range ret.Results {
+		if boxesInto(p, results.At(i).Type(), e) {
+			diags = append(diags, diag(p, e.Pos(),
+				"hotpath", "%s: return boxes a concrete value into an interface", name))
+		}
+	}
+	return diags
+}
+
+// boxesInto reports whether assigning expression e to a destination of
+// type dst converts a concrete value into an interface in a way that
+// may allocate. Pointer-shaped values (pointers, maps, channels, funcs,
+// unsafe.Pointer) store directly in the interface word and are exempt,
+// as are nil and values already of interface type.
+func boxesInto(p *Pkg, dst types.Type, e ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

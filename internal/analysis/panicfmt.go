@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// PanicFmt constrains panics to their one sanctioned role: precondition
+// checks. Every panic must carry a constant string message (directly,
+// or as the constant format of fmt.Sprintf / fmt.Errorf / errors.New)
+// prefixed with the package name and a colon — "topk: ...", "itcam:
+// ..." — so a crash in production names its origin without a symbolized
+// stack. Panics that rethrow arbitrary values need a justified
+// //tcamvet:ignore. Main packages keep the constant-message requirement
+// but may choose their own prefix.
+var PanicFmt = &Analyzer{
+	Name: "panicfmt",
+	Doc:  "panics carry a constant pkg:-prefixed message",
+	Run:  runPanicFmt,
+}
+
+func runPanicFmt(p *Pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(p, call, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			msg, ok := panicMessage(p, call.Args[0])
+			if !ok {
+				diags = append(diags, diag(p, call.Pos(), "panicfmt",
+					"panic message must be a constant string (or a fmt.Sprintf/errors.New with a constant format)"))
+				return true
+			}
+			if p.Types.Name() == "main" {
+				return true
+			}
+			if want := p.Types.Name() + ":"; !strings.HasPrefix(msg, want) {
+				diags = append(diags, diag(p, call.Pos(), "panicfmt",
+					"panic message %q must start with %q", msg, want))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// panicMessage extracts the constant message of a panic argument: a
+// constant string expression, or the constant first argument of
+// fmt.Sprintf, fmt.Errorf or errors.New.
+func panicMessage(p *Pkg, arg ast.Expr) (string, bool) {
+	if s, ok := constString(p, arg); ok {
+		return s, true
+	}
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	if pkgFunc(p, call, "fmt", "Sprintf") || pkgFunc(p, call, "fmt", "Errorf") || pkgFunc(p, call, "errors", "New") {
+		return constString(p, call.Args[0])
+	}
+	return "", false
+}
+
+func constString(p *Pkg, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

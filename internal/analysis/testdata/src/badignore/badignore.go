@@ -1,0 +1,11 @@
+// Package badignore exercises the malformed-suppression rule: a
+// directive naming a check but no justification is itself a finding.
+package badignore
+
+// Sentinel compares floats but its suppression lacks a justification,
+// so the run reports the bare directive (and suppresses the floatcmp
+// finding it covers).
+func Sentinel(a float64) bool {
+	//tcamvet:ignore floatcmp
+	return a == 0
+}

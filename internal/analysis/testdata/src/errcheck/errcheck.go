@@ -1,0 +1,34 @@
+// Package errcheck exercises the dropped-error check. The fixture lives
+// under internal/, so the check applies to it.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fallible() error { return errors.New("errcheck fixture") }
+
+// Dropped discards errors in all three statement forms.
+func Dropped() {
+	fallible()       // want errcheck
+	defer fallible() // want errcheck
+	go fallible()    // want errcheck
+}
+
+// Handled returns or visibly discards every error.
+func Handled() error {
+	_ = fallible()
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Prints may drop the unactionable errors of the excluded print
+// functions.
+func Prints() {
+	fmt.Println("fixture")
+	fmt.Fprintf(os.Stderr, "fixture %d\n", 1)
+}

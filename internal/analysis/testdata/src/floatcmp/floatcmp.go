@@ -1,0 +1,29 @@
+// Package floatcmp exercises the float-equality check.
+package floatcmp
+
+// Equalish compares floats the forbidden way.
+func Equalish(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// Different compares floats the forbidden way.
+func Different(a, b float32) bool {
+	return a != b // want floatcmp
+}
+
+// Justified carries a suppression with a justification and must not
+// fire.
+func Justified(a float64) bool {
+	//tcamvet:ignore floatcmp exact sentinel comparison is the fixture's suppression case
+	return a == 0
+}
+
+// Ints may compare exactly: the check is float-only.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Ordered comparisons are always fine.
+func Ordered(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,21 @@
+// Package globalrand exercises the seeded-randomness check.
+package globalrand
+
+import "math/rand"
+
+// Draw consumes the shared package-level source.
+func Draw() int {
+	return rand.Intn(10) // want globalrand
+}
+
+// Noise consumes the shared source through a float draw.
+func Noise() float64 {
+	return rand.Float64() // want globalrand
+}
+
+// Seeded draws from an explicit source and is fine; the rand.New and
+// rand.NewSource constructors are not draws.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,87 @@
+// Package hotpath exercises the //tcam:hotpath allocation rules. Each
+// line carrying a `// want hotpath` marker must produce at least one
+// hotpath diagnostic; unmarked lines must produce none.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+var shared []int
+
+// Grow may append to receiver-owned scratch but not allocate.
+//
+//tcam:hotpath
+func (r *ring) Grow(n int) int {
+	r.buf = append(r.buf, n)
+	s := make([]int, n) // want hotpath
+	return len(s)
+}
+
+// Label calls into fmt (flagged) and boxes its argument (also flagged).
+//
+//tcam:hotpath
+func Label(n int) string {
+	return fmt.Sprint(n) // want hotpath
+}
+
+// Literal builds a slice literal.
+//
+//tcam:hotpath
+func Literal() int {
+	xs := []int{1, 2, 3} // want hotpath
+	return len(xs)
+}
+
+// Closure captures its environment.
+//
+//tcam:hotpath
+func Closure(n int) int {
+	f := func() int { return n } // want hotpath
+	return f()
+}
+
+// Concat concatenates strings.
+//
+//tcam:hotpath
+func Concat(a, b string) string {
+	return a + b // want hotpath
+}
+
+// Box returns a boxed int.
+//
+//tcam:hotpath
+func Box(n int) any {
+	return n // want hotpath
+}
+
+// StealAppend grows a slice it does not own.
+//
+//tcam:hotpath
+func StealAppend(n int) {
+	shared = append(shared, n) // want hotpath
+}
+
+// Sum is annotated and clean: index arithmetic, range loops and struct
+// access allocate nothing.
+//
+//tcam:hotpath
+func Sum(xs []int) int {
+	var s int
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Guarded may format its panic message: the error path never returns.
+//
+//tcam:hotpath
+func Guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpath: negative n %d", n))
+	}
+	return n * 2
+}

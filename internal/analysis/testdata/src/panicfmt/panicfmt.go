@@ -1,0 +1,29 @@
+// Package panicfmt exercises the panic-message check.
+package panicfmt
+
+import "fmt"
+
+// BadDynamic rethrows a non-constant value.
+func BadDynamic(err error) {
+	panic(err) // want panicfmt
+}
+
+// BadPrefix panics with a constant message missing the package prefix.
+func BadPrefix() {
+	panic("other: boom") // want panicfmt
+}
+
+// Good panics with a constant, prefixed message.
+func Good(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("panicfmt: negative n %d", n))
+	}
+	return n
+}
+
+// GoodPlain panics with a plain constant string.
+func GoodPlain(ok bool) {
+	if !ok {
+		panic("panicfmt: precondition violated")
+	}
+}

@@ -76,6 +76,7 @@ func (b *Builder) Add(u, t, v int, score float64) error {
 // error and is used by generators and tests.
 func (b *Builder) MustAdd(u, t, v int, score float64) {
 	if err := b.Add(u, t, v, score); err != nil {
+		//tcamvet:ignore panicfmt re-panics an Add error that already carries the "cuboid:" prefix
 		panic(err)
 	}
 }

@@ -99,7 +99,7 @@ func NormalizeSeries(series []float64) []float64 {
 		}
 	}
 	out := make([]float64, len(series))
-	if max == 0 {
+	if max <= 0 {
 		return out
 	}
 	for i, x := range series {

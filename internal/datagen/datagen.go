@@ -297,6 +297,7 @@ func Generate(cfg Config) (*World, error) {
 func MustGenerate(cfg Config) *World {
 	w, err := Generate(cfg)
 	if err != nil {
+		//tcamvet:ignore panicfmt re-panics a Generate error that already carries the "datagen:" prefix
 		panic(err)
 	}
 	return w

@@ -269,6 +269,7 @@ func emitEvents(cfg Config, rng *rand.Rand, w *World,
 					score = starScore(rng)
 				}
 				if err := w.Log.Add(userID, ItemName(cfg, truth, v), int64(d), score); err != nil {
+					//tcamvet:ignore panicfmt re-panics a Log.Add error that already carries the "dataset:" prefix
 					panic(err)
 				}
 			}

@@ -124,6 +124,7 @@ func (d *Interactions) SaveJSONLFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
+	//tcamvet:ignore errcheck error-path backstop; the success path returns f.Close() below
 	defer f.Close()
 	if err := d.WriteJSONL(f); err != nil {
 		return err
@@ -137,6 +138,7 @@ func LoadJSONLFile(path string) (*Interactions, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
+	//tcamvet:ignore errcheck close error on a read-only file carries no signal
 	defer f.Close()
 	return ReadJSONL(f)
 }

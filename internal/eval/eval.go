@@ -272,7 +272,7 @@ func cosine(a, b []float64) float64 {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
-	if na == 0 || nb == 0 {
+	if na <= 0 || nb <= 0 {
 		return math.NaN()
 	}
 	return dot / math.Sqrt(na*nb)

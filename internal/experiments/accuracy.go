@@ -53,13 +53,13 @@ func (a *AccuracyResult) Render(w io.Writer) {
 	for _, metric := range []string{"Precision@k", "NDCG@k", "F1@k"} {
 		fprintf(w, "\n%s\n", metric)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(tw, "method")
+		fprintf(tw, "method")
 		for k := 1; k <= a.MaxK; k++ {
-			fmt.Fprintf(tw, "\tk=%d", k)
+			fprintf(tw, "\tk=%d", k)
 		}
-		fmt.Fprintln(tw)
+		fprintln(tw)
 		for _, name := range sortedMethods(a.Curves) {
-			fmt.Fprintf(tw, "%s", name)
+			fprintf(tw, "%s", name)
 			for k := 1; k <= a.MaxK; k++ {
 				m := a.Curves[name].At(k)
 				var v float64
@@ -71,11 +71,11 @@ func (a *AccuracyResult) Render(w io.Writer) {
 				default:
 					v = m.F1
 				}
-				fmt.Fprintf(tw, "\t%.4f", v)
+				fprintf(tw, "\t%.4f", v)
 			}
-			fmt.Fprintln(tw)
+			fprintln(tw)
 		}
-		tw.Flush()
+		flush(tw)
 	}
 }
 
@@ -143,19 +143,19 @@ func (t *IntervalSweepResult) Render(w io.Writer) {
 			methods = append(methods, m)
 		}
 	}
-	fmt.Fprintf(tw, "interval")
+	fprintf(tw, "interval")
 	for _, m := range methods {
-		fmt.Fprintf(tw, "\t%s", m)
+		fprintf(tw, "\t%s", m)
 	}
-	fmt.Fprintln(tw)
+	fprintln(tw)
 	for i, length := range t.Lengths {
-		fmt.Fprintf(tw, "%d days", length)
+		fprintf(tw, "%d days", length)
 		for _, m := range methods {
-			fmt.Fprintf(tw, "\t%.4f", t.NDCG5[m][i])
+			fprintf(tw, "\t%.4f", t.NDCG5[m][i])
 		}
-		fmt.Fprintln(tw)
+		fprintln(tw)
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // Best returns the interval length at which a method peaks.
@@ -213,17 +213,17 @@ func (r *Runner) figure9Grid(k1s, k2s []int) (*TopicCountResult, error) {
 func (f *TopicCountResult) Render(w io.Writer) {
 	fprintf(w, "W-TTCAM NDCG@5 vs number of user-oriented topics (K1) on %s\n", f.Dataset)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "K2 \\ K1")
+	fprintf(tw, "K2 \\ K1")
 	for _, k1 := range f.K1s {
-		fmt.Fprintf(tw, "\t%d", k1)
+		fprintf(tw, "\t%d", k1)
 	}
-	fmt.Fprintln(tw)
+	fprintln(tw)
 	for i, k2 := range f.K2s {
-		fmt.Fprintf(tw, "W-TTCAM-%d", k2)
+		fprintf(tw, "W-TTCAM-%d", k2)
 		for j := range f.K1s {
-			fmt.Fprintf(tw, "\t%.4f", f.NDCG5[i][j])
+			fprintf(tw, "\t%.4f", f.NDCG5[i][j])
 		}
-		fmt.Fprintln(tw)
+		fprintln(tw)
 	}
-	tw.Flush()
+	flush(tw)
 }

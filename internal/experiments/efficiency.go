@@ -116,18 +116,18 @@ func (l *LatencyResult) Render(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	withBatch := len(l.TABatch) == len(l.Ks)
 	if withBatch {
-		fmt.Fprintln(tw, "k\tTCAM-TA\tTCAM-TA-batch\tTCAM-BF\tBPTF\tTA items examined")
+		fprintln(tw, "k\tTCAM-TA\tTCAM-TA-batch\tTCAM-BF\tBPTF\tTA items examined")
 	} else {
-		fmt.Fprintln(tw, "k\tTCAM-TA\tTCAM-BF\tBPTF\tTA items examined")
+		fprintln(tw, "k\tTCAM-TA\tTCAM-BF\tBPTF\tTA items examined")
 	}
 	for i, k := range l.Ks {
 		if withBatch {
-			fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.TABatch[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
+			fprintf(tw, "%d\t%v\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.TABatch[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
 		} else {
-			fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
+			fprintf(tw, "%d\t%v\t%v\t%v\t%.0f\n", k, l.TA[i], l.BF[i], l.BPTF[i], l.TAExamined[i])
 		}
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // MeanTA returns the mean TA latency across the sweep, for shape
@@ -193,19 +193,19 @@ func (r *Runner) Table4() (*TrainTimeResult, error) {
 func (t *TrainTimeResult) Render(w io.Writer) {
 	fprintf(w, "Offline model training time\n")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "dataset")
+	fprintf(tw, "dataset")
 	for _, m := range t.Methods {
-		fmt.Fprintf(tw, "\t%s", m)
+		fprintf(tw, "\t%s", m)
 	}
-	fmt.Fprintln(tw)
+	fprintln(tw)
 	for _, d := range t.Datasets {
-		fmt.Fprintf(tw, "%s", d)
+		fprintf(tw, "%s", d)
 		for _, m := range t.Methods {
-			fmt.Fprintf(tw, "\t%v", t.Times[d][m].Round(time.Millisecond))
+			fprintf(tw, "\t%v", t.Times[d][m].Round(time.Millisecond))
 		}
-		fmt.Fprintln(tw)
+		fprintln(tw)
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // compile-time check that ttcam exposes the interfaces Figure 8 needs.

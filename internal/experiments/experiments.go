@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"text/tabwriter"
 
 	"tcam/internal/core"
 	"tcam/internal/cuboid"
@@ -197,9 +198,23 @@ func sortedMethods(curves map[string]eval.Curve) []string {
 }
 
 // fprintf writes formatted output, ignoring write errors (report
-// streams are stdout or test buffers).
+// streams are stdout or test buffers). The fprintf/fprintln/flush
+// family is the package's single, visible discard point for render
+// errors; renderers must route all table output through it.
 func fprintf(w io.Writer, format string, args ...interface{}) {
 	if w != nil {
-		fmt.Fprintf(w, format, args...)
+		_, _ = fmt.Fprintf(w, format, args...)
 	}
 }
+
+// fprintln is fprintln-shaped fprintf: write a line, ignore the write
+// error.
+func fprintln(w io.Writer, args ...interface{}) {
+	if w != nil {
+		_, _ = fmt.Fprintln(w, args...)
+	}
+}
+
+// flush drains a renderer's tabwriter, ignoring the write error for
+// the same reason fprintf does.
+func flush(tw *tabwriter.Writer) { _ = tw.Flush() }

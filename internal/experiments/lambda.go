@@ -95,11 +95,11 @@ func (l *LambdaCDFResult) Render(w io.Writer) {
 	fprintf(w, "Influence probability CDFs on %s (mean λu = %.3f, corr. with ground truth = %.3f)\n",
 		l.Dataset, l.MeanLambda, l.TruthCorrelation)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "x\tCDF personal (λu ≤ x)\tCDF temporal (1−λu ≤ x)")
+	fprintln(tw, "x\tCDF personal (λu ≤ x)\tCDF temporal (1−λu ≤ x)")
 	for i, x := range l.Xs {
-		fmt.Fprintf(tw, "%.2f\t%.3f\t%.3f\n", x, l.PersonalCDF[i], l.TemporalCDF[i])
+		fprintf(tw, "%.2f\t%.3f\t%.3f\n", x, l.PersonalCDF[i], l.TemporalCDF[i])
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // pearson returns the Pearson correlation of two equal-length samples,
@@ -120,7 +120,7 @@ func pearson(a, b []float64) float64 {
 		va += da * da
 		vb += db * db
 	}
-	if va == 0 || vb == 0 {
+	if va <= 0 || vb <= 0 {
 		return 0
 	}
 	return cov / math.Sqrt(va*vb)

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"text/tabwriter"
 
@@ -44,11 +43,11 @@ func (r *Runner) Table2() *DatasetStatsResult {
 func (d *DatasetStatsResult) Render(w io.Writer) {
 	fprintf(w, "Basic statistics of the four synthetic data sets\n")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "dataset\t# users\t# items\t# ratings\ttime span (days)")
+	fprintln(tw, "dataset\t# users\t# items\t# ratings\ttime span (days)")
 	for _, row := range d.Rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", row.Name, row.Users, row.Items, row.Ratings, row.TimeSpan)
+		fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", row.Name, row.Users, row.Items, row.Ratings, row.TimeSpan)
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // itemSeries returns the per-interval distinct-user frequency of one

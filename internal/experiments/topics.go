@@ -75,11 +75,11 @@ func (f *TopicSignatureResult) Render(w io.Writer) {
 	fprintf(w, "time-oriented topic (peakedness %.2f): %v\n", f.TimePeakedness, f.TimeTopicItems)
 	fprintf(w, "user-oriented topic (peakedness %.2f): %v\n", f.UserPeakedness, f.UserTopicItems)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "interval\ttime-oriented\tuser-oriented")
+	fprintln(tw, "interval\ttime-oriented\tuser-oriented")
 	for i := range f.TimeTopicSeries {
-		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", i, f.TimeTopicSeries[i], f.UserTopicSeries[i])
+		fprintf(tw, "%d\t%.3f\t%.3f\n", i, f.TimeTopicSeries[i], f.UserTopicSeries[i])
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // topicActivitySeries sums the per-interval frequencies of a topic's
@@ -104,7 +104,7 @@ func peakedness(series []float64) float64 {
 		}
 		sum += x
 	}
-	if sum == 0 {
+	if sum <= 0 {
 		return 0
 	}
 	mean := sum / float64(len(series))
@@ -118,8 +118,11 @@ func topIndices(weights []float64, n int) []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if weights[idx[a]] != weights[idx[b]] {
-			return weights[idx[a]] > weights[idx[b]]
+		if weights[idx[a]] > weights[idx[b]] {
+			return true
+		}
+		if weights[idx[a]] < weights[idx[b]] {
+			return false
 		}
 		return idx[a] < idx[b]
 	})
@@ -265,7 +268,7 @@ func concentration(series []float64, center, radius int) float64 {
 			near += x
 		}
 	}
-	if total == 0 {
+	if total <= 0 {
 		return 0
 	}
 	return near / total
@@ -276,15 +279,15 @@ func (f *BurstySeriesResult) Render(w io.Writer) {
 	fprintf(w, "Bursty vs popular tags on %s (mass concentration near the event peak)\n", f.Dataset)
 	fprintf(w, "mean concentration: bursty %.3f, popular %.3f\n", f.BurstyConcentration, f.PopularConcentration)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "tag\tclass\tconcentration")
+	fprintln(tw, "tag\tclass\tconcentration")
 	for _, item := range f.Items {
 		class := "popular"
 		if item.Bursty {
 			class = "bursty"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\n", item.Name, class, item.Concentration)
+		fprintf(tw, "%s\t%s\t%.3f\n", item.Name, class, item.Concentration)
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // TopicQualityRow is one model's matched time-oriented topic in
@@ -399,11 +402,11 @@ func (r *Runner) topicQualityOn(p datagen.Profile) (*TopicQualityResult, error) 
 func (t *TopicQualityResult) Render(w io.Writer) {
 	fprintf(w, "Time-oriented topic matched to ground-truth event cluster e%02d on %s\n", t.Cluster, t.Dataset)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "model\tburst purity\tgeneric share\ttop items")
+	fprintln(tw, "model\tburst purity\tgeneric share\ttop items")
 	for _, row := range t.Rows {
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%v\n", row.Model, row.BurstPurity, row.GenericShare, row.TopItems)
+		fprintf(tw, "%s\t%.3f\t%.3f\t%v\n", row.Model, row.BurstPurity, row.GenericShare, row.TopItems)
 	}
-	tw.Flush()
+	flush(tw)
 }
 
 // Purity returns the burst purity of a model's row, or -1 when absent.
@@ -531,10 +534,10 @@ func safeDiv(sum float64, n int) float64 {
 func (s *SeparationResult) Render(w io.Writer) {
 	fprintf(w, "User- vs time-oriented topic separation on %s (W-TTCAM, top-10 items per topic)\n", s.Dataset)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "topic family\tgenre purity\trelease-cohort purity")
-	fmt.Fprintf(tw, "user-oriented\t%.3f\t%.3f\n", s.UserGenrePurity, s.UserCohortPurity)
-	fmt.Fprintf(tw, "time-oriented\t%.3f\t%.3f\n", s.TimeGenrePurity, s.TimeCohortPurity)
-	tw.Flush()
+	fprintln(tw, "topic family\tgenre purity\trelease-cohort purity")
+	fprintf(tw, "user-oriented\t%.3f\t%.3f\n", s.UserGenrePurity, s.UserCohortPurity)
+	fprintf(tw, "time-oriented\t%.3f\t%.3f\n", s.TimeGenrePurity, s.TimeCohortPurity)
+	flush(tw)
 	fprintf(w, "example user-oriented topic: %v\n", s.ExampleUserTopic)
 	fprintf(w, "example time-oriented topic: %v\n", s.ExampleTimeTopic)
 }

@@ -163,6 +163,7 @@ func (b *Bundle) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
+	//tcamvet:ignore errcheck error-path backstop; the success path returns f.Close() below
 	defer f.Close()
 	if err := b.Write(f); err != nil {
 		return err
@@ -176,6 +177,7 @@ func Load(path string) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
+	//tcamvet:ignore errcheck close error on a read-only file carries no signal
 	defer f.Close()
 	return Read(f)
 }

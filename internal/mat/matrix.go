@@ -91,6 +91,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
+			//tcamvet:ignore floatcmp exact-zero sparse skip; entries may be negative so an ordered test would change results
 			if a == 0 {
 				continue
 			}
@@ -118,6 +119,7 @@ func (m *Matrix) OuterAdd(alpha float64, u, w Vector) {
 	checkLen(m.Rows, len(u))
 	checkLen(m.Cols, len(w))
 	for i, ui := range u {
+		//tcamvet:ignore floatcmp exact-zero sparse skip; entries may be negative so an ordered test would change results
 		if ui == 0 {
 			continue
 		}

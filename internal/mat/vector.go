@@ -123,7 +123,7 @@ func (v Vector) Normalize() float64 {
 // zero norm.
 func (v Vector) Cosine(w Vector) float64 {
 	nv, nw := v.Norm2(), w.Norm2()
-	if nv == 0 || nw == 0 {
+	if nv <= 0 || nw <= 0 {
 		return 0
 	}
 	return v.Dot(w) / (nv * nw)

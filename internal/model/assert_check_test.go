@@ -1,0 +1,46 @@
+//go:build tcamcheck
+
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestAssertRowStochasticAcceptsValidRows(t *testing.T) {
+	AssertRowStochastic("ok", []float64{0.25, 0.75, 0.5, 0.5}, 2, 1e-9)
+}
+
+func TestAssertRowStochasticRejectsBadSum(t *testing.T) {
+	mustPanic(t, "sums to", func() {
+		AssertRowStochastic("badsum", []float64{0.3, 0.3}, 2, 1e-9)
+	})
+}
+
+func TestAssertRowStochasticRejectsNaN(t *testing.T) {
+	mustPanic(t, "finite", func() {
+		AssertRowStochastic("nan", []float64{math.NaN(), 1}, 2, 1e-9)
+	})
+}
+
+func TestAssertFiniteIn01RejectsOutOfRange(t *testing.T) {
+	mustPanic(t, "[0,1]", func() {
+		AssertFiniteIn01("range", []float64{0.5, 1.5})
+	})
+}

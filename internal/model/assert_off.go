@@ -1,0 +1,16 @@
+//go:build !tcamcheck
+
+package model
+
+// AssertionsEnabled reports whether the tcamcheck debug assertions are
+// compiled in. It is a constant, so release builds (without the tag)
+// dead-code-eliminate every `if model.AssertionsEnabled { ... }` block.
+const AssertionsEnabled = false
+
+// AssertRowStochastic is a no-op without the tcamcheck build tag; see
+// assert_on.go for the checked variant.
+func AssertRowStochastic(label string, data []float64, cols int, tol float64) {}
+
+// AssertFiniteIn01 is a no-op without the tcamcheck build tag; see
+// assert_on.go for the checked variant.
+func AssertFiniteIn01(label string, data []float64) {}

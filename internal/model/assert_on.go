@@ -1,0 +1,46 @@
+//go:build tcamcheck
+
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// AssertionsEnabled reports whether the tcamcheck debug assertions are
+// compiled in. It is a constant, so release builds (without the tag)
+// dead-code-eliminate every `if model.AssertionsEnabled { ... }` block.
+const AssertionsEnabled = true
+
+// AssertRowStochastic panics unless every length-cols row of data is a
+// probability distribution: finite entries in [0, 1] summing to 1
+// within tol. EM M-steps call it (under the tcamcheck tag) on each
+// parameter matrix they renormalize.
+func AssertRowStochastic(label string, data []float64, cols int, tol float64) {
+	if cols <= 0 {
+		panic("model: AssertRowStochastic needs positive cols")
+	}
+	for r := 0; r*cols < len(data); r++ {
+		row := data[r*cols : (r+1)*cols]
+		var sum float64
+		for i, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1 {
+				panic(fmt.Sprintf("model: %s: row %d entry %d is %v, want finite in [0,1]", label, r, i, x))
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > tol {
+			panic(fmt.Sprintf("model: %s: row %d sums to %v, want 1 ± %v", label, r, sum, tol))
+		}
+	}
+}
+
+// AssertFiniteIn01 panics unless every entry of data is finite and in
+// [0, 1] — the invariant for per-user mixing weights λu.
+func AssertFiniteIn01(label string, data []float64) {
+	for i, x := range data {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1 {
+			panic(fmt.Sprintf("model: %s: entry %d is %v, want finite in [0,1]", label, i, x))
+		}
+	}
+}

@@ -177,6 +177,7 @@ type accumulators struct {
 	lamNum  []float64
 	lamDen  []float64
 	llW     []float64
+	pzW     [][]float64 // per-worker E-step posterior scratch
 }
 
 func newAccumulators(m *Model, workers int) *accumulators {
@@ -187,10 +188,12 @@ func newAccumulators(m *Model, workers int) *accumulators {
 		llW:     make([]float64, workers),
 		phiW:    make([][]float64, workers),
 		thetaTW: make([][]float64, workers),
+		pzW:     make([][]float64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		a.phiW[w] = make([]float64, len(m.phi))
 		a.thetaTW[w] = make([]float64, len(m.thetaT))
+		a.pzW[w] = make([]float64, m.k1)
 	}
 	return a
 }
@@ -220,53 +223,8 @@ func zero(s []float64) {
 func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
 	acc.reset()
 	k1, V := m.k1, m.numItems
-	cells := data.Cells()
 	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
-		phiAcc := acc.phiW[worker]
-		thetaTAcc := acc.thetaTW[worker]
-		pz := make([]float64, k1)
-		var ll float64
-		for u := lo; u < hi; u++ {
-			lam := m.lambda[u]
-			thetaRow := m.theta[u*k1 : (u+1)*k1]
-			for _, ci := range data.UserCells(u) {
-				cell := cells[ci]
-				v, t, w := int(cell.V), int(cell.T), cell.Score
-
-				// E-step — Equations (4) and (5).
-				var pu float64
-				for z := 0; z < k1; z++ {
-					p := thetaRow[z] * m.phi[z*V+v]
-					pz[z] = p
-					pu += p
-				}
-				pt := m.thetaT[t*V+v]
-				denom := lam*pu + (1-lam)*pt
-				if denom <= 0 {
-					denom = 1e-300
-				}
-				ps1 := lam * pu / denom
-				ll += w * math.Log(denom)
-
-				// Accumulate — numerators of Equations (8)–(11).
-				if pu > 0 {
-					scale := w * ps1 / pu
-					for z := 0; z < k1; z++ {
-						c := scale * pz[z]
-						acc.theta[u*k1+z] += c
-						phiAcc[z*V+v] += c
-					}
-				}
-				thetaTAcc[t*V+v] += w * (1 - ps1)
-				lm := w
-				if cfg.LambdaMass != nil {
-					lm = cfg.LambdaMass[ci]
-				}
-				acc.lamNum[u] += lm * ps1
-				acc.lamDen[u] += lm
-			}
-		}
-		acc.llW[worker] = ll
+		m.emUserRange(data, cfg, acc, worker, lo, hi)
 	})
 
 	// M-step — Equations (8)–(11).
@@ -281,12 +239,74 @@ func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *a
 			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
 		}
 	}
+	if model.AssertionsEnabled {
+		model.AssertRowStochastic("itcam theta", m.theta, k1, 1e-9)
+		model.AssertRowStochastic("itcam phi", m.phi, V, 1e-9)
+		model.AssertRowStochastic("itcam thetaT", m.thetaT, V, 1e-9)
+		model.AssertFiniteIn01("itcam lambda", m.lambda)
+	}
 
 	var ll float64
 	for _, x := range acc.llW {
 		ll += x
 	}
 	return ll
+}
+
+// emUserRange runs the E-step over one worker's user range [lo, hi),
+// accumulating sufficient statistics into the worker's slabs. All
+// scratch is pre-sized in the accumulators so the per-iteration inner
+// loop never touches the allocator.
+//
+//tcam:hotpath
+func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, worker, lo, hi int) {
+	k1, V := m.k1, m.numItems
+	cells := data.Cells()
+	phiAcc := acc.phiW[worker]
+	thetaTAcc := acc.thetaTW[worker]
+	pz := acc.pzW[worker]
+	var ll float64
+	for u := lo; u < hi; u++ {
+		lam := m.lambda[u]
+		thetaRow := m.theta[u*k1 : (u+1)*k1]
+		for _, ci := range data.UserCells(u) {
+			cell := cells[ci]
+			v, t, w := int(cell.V), int(cell.T), cell.Score
+
+			// E-step — Equations (4) and (5).
+			var pu float64
+			for z := 0; z < k1; z++ {
+				p := thetaRow[z] * m.phi[z*V+v]
+				pz[z] = p
+				pu += p
+			}
+			pt := m.thetaT[t*V+v]
+			denom := lam*pu + (1-lam)*pt
+			if denom <= 0 {
+				denom = 1e-300
+			}
+			ps1 := lam * pu / denom
+			ll += w * math.Log(denom)
+
+			// Accumulate — numerators of Equations (8)–(11).
+			if pu > 0 {
+				scale := w * ps1 / pu
+				for z := 0; z < k1; z++ {
+					c := scale * pz[z]
+					acc.theta[u*k1+z] += c
+					phiAcc[z*V+v] += c
+				}
+			}
+			thetaTAcc[t*V+v] += w * (1 - ps1)
+			lm := w
+			if cfg.LambdaMass != nil {
+				lm = cfg.LambdaMass[ci]
+			}
+			acc.lamNum[u] += lm * ps1
+			acc.lamDen[u] += lm
+		}
+	}
+	acc.llW[worker] = ll
 }
 
 func clampLambda(x float64) float64 {
@@ -333,6 +353,8 @@ func (m *Model) TemporalContext(t int) []float64 {
 }
 
 // Score implements Equation (1): the likelihood that u rates v during t.
+//
+//tcam:hotpath
 func (m *Model) Score(u, t, v int) float64 {
 	var pu float64
 	thetaRow := m.UserInterest(u)
@@ -345,6 +367,8 @@ func (m *Model) Score(u, t, v int) float64 {
 
 // ScoreAll fills scores[v] with Score(u, t, v) for every item in one
 // pass over the topic matrices.
+//
+//tcam:hotpath
 func (m *Model) ScoreAll(u, t int, scores []float64) {
 	if len(scores) != m.numItems {
 		panic(fmt.Sprintf("itcam: ScoreAll buffer %d, want %d", len(scores), m.numItems))
@@ -357,7 +381,7 @@ func (m *Model) ScoreAll(u, t int, scores []float64) {
 	thetaRow := m.UserInterest(u)
 	for z := 0; z < m.k1; z++ {
 		w := lam * thetaRow[z]
-		if w == 0 {
+		if w <= 0 {
 			continue
 		}
 		phiRow := m.UserTopic(z)
@@ -382,6 +406,8 @@ func (m *Model) QueryWeights(u, t int) []float64 {
 
 // QueryWeightsInto is the allocation-free form of QueryWeights: it
 // overwrites every entry of out, which must have length NumTopics().
+//
+//tcam:hotpath
 func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 	lam := m.lambda[u]
 	thetaRow := m.UserInterest(u)
@@ -396,6 +422,8 @@ func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 
 // TopicItems returns ϕ_z̃: a user-oriented topic's item distribution for
 // z̃ < K1, an interval's temporal context otherwise.
+//
+//tcam:hotpath
 func (m *Model) TopicItems(z int) []float64 {
 	if z < m.k1 {
 		return m.UserTopic(z)

@@ -127,6 +127,8 @@ func ParallelRanges(n, workers int, fn func(worker, lo, hi int)) {
 // NormalizeRows renormalizes each length-cols row of a flat row-major
 // accumulator into a probability distribution with additive smoothing
 // eps, writing the result in place. A row with no mass becomes uniform.
+//
+//tcam:hotpath
 func NormalizeRows(data []float64, cols int, eps float64) {
 	if cols <= 0 {
 		return
@@ -153,6 +155,8 @@ func NormalizeRows(data []float64, cols int, eps float64) {
 
 // MergeSlabs element-wise sums per-worker accumulator slabs into
 // slabs[0] and returns it.
+//
+//tcam:hotpath
 func MergeSlabs(slabs [][]float64) []float64 {
 	if len(slabs) == 0 {
 		return nil

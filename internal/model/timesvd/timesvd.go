@@ -205,14 +205,14 @@ func userMeanTimes(data *cuboid.Cuboid, n int) []float64 {
 // dev returns dev_u(t) = sign(t − t̄_u)·|t − t̄_u|^β.
 func (m *Model) dev(u, t int) float64 {
 	d := float64(t) - m.meanTime[u]
-	if d == 0 {
+	switch {
+	case d > 0:
+		return math.Pow(d, m.beta)
+	case d < 0:
+		return -math.Pow(-d, m.beta)
+	default:
 		return 0
 	}
-	s := 1.0
-	if d < 0 {
-		s, d = -1, -d
-	}
-	return s * math.Pow(d, m.beta)
 }
 
 // bin maps an interval onto an item time bin.

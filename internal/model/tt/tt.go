@@ -209,7 +209,7 @@ func (m *Model) ScoreAll(_, t int, scores []float64) {
 	thetaRow := m.TemporalContext(t)
 	for x := 0; x < m.k; x++ {
 		w := (1 - m.lambdaB) * thetaRow[x]
-		if w == 0 {
+		if w <= 0 {
 			continue
 		}
 		row := m.Topic(x)

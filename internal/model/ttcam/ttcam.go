@@ -193,6 +193,8 @@ type accumulators struct {
 	phiW     [][]float64
 	phiXW    [][]float64
 	thetaTxW [][]float64
+	pzW      [][]float64 // per-worker user-path posterior scratch
+	pxW      [][]float64 // per-worker time-path posterior scratch
 }
 
 func newAccumulators(m *Model, workers int) *accumulators {
@@ -204,11 +206,15 @@ func newAccumulators(m *Model, workers int) *accumulators {
 		phiW:     make([][]float64, workers),
 		phiXW:    make([][]float64, workers),
 		thetaTxW: make([][]float64, workers),
+		pzW:      make([][]float64, workers),
+		pxW:      make([][]float64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		a.phiW[w] = make([]float64, len(m.phi))
 		a.phiXW[w] = make([]float64, len(m.phiX))
 		a.thetaTxW[w] = make([]float64, len(m.thetaTx))
+		a.pzW[w] = make([]float64, m.k1)
+		a.pxW[w] = make([]float64, m.k2)
 	}
 	return a
 }
@@ -240,84 +246,8 @@ func zero(s []float64) {
 func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
 	acc.reset()
 	k1, k2, V := m.k1, m.k2, m.numItems
-	cells := data.Cells()
-	bw := m.backgroundW
 	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
-		phiAcc := acc.phiW[worker]
-		phiXAcc := acc.phiXW[worker]
-		thetaTxAcc := acc.thetaTxW[worker]
-		pz := make([]float64, k1)
-		px := make([]float64, k2)
-		var ll float64
-		for u := lo; u < hi; u++ {
-			lam := m.lambda[u]
-			thetaRow := m.theta[u*k1 : (u+1)*k1]
-			for _, ci := range data.UserCells(u) {
-				cell := cells[ci]
-				v, t, w := int(cell.V), int(cell.T), cell.Score
-
-				// E-step — Equations (4), (5) and (13).
-				var pu float64
-				for z := 0; z < k1; z++ {
-					p := thetaRow[z] * m.phi[z*V+v]
-					pz[z] = p
-					pu += p
-				}
-				thetaTxRow := m.thetaTx[t*k2 : (t+1)*k2]
-				var pt float64
-				for x := 0; x < k2; x++ {
-					p := thetaTxRow[x] * m.phiX[x*V+v]
-					px[x] = p
-					pt += p
-				}
-				mix := lam*pu + (1-lam)*pt
-				denom := mix
-				var pbg float64 // posterior mass of the background path
-				if bw > 0 {
-					denom = bw*m.background[v] + (1-bw)*mix
-					if denom <= 0 {
-						denom = 1e-300
-					}
-					pbg = bw * m.background[v] / denom
-				} else if denom <= 0 {
-					denom = 1e-300
-				}
-				ll += w * math.Log(denom)
-
-				// Mixture-path posteriors, discounted by the background.
-				var ps1 float64
-				if mix > 0 {
-					ps1 = (1 - pbg) * lam * pu / mix
-				}
-				ps0 := (1 - pbg) - ps1
-
-				// Accumulate numerators of Equations (8)–(9), (11),
-				// (15)–(16).
-				if pu > 0 && ps1 > 0 {
-					scale := w * ps1 / pu
-					for z := 0; z < k1; z++ {
-						c := scale * pz[z]
-						acc.theta[u*k1+z] += c
-						phiAcc[z*V+v] += c
-					}
-				}
-				if pt > 0 && ps0 > 0 {
-					scale := w * ps0 / pt
-					for x := 0; x < k2; x++ {
-						c := scale * px[x]
-						thetaTxAcc[t*k2+x] += c
-						phiXAcc[x*V+v] += c
-					}
-				}
-				lm := w
-				if cfg.LambdaMass != nil {
-					lm = cfg.LambdaMass[ci]
-				}
-				acc.lamNum[u] += lm * ps1
-				acc.lamDen[u] += lm * (ps1 + ps0)
-			}
-		}
-		acc.llW[worker] = ll
+		m.emUserRange(data, cfg, acc, worker, lo, hi)
 	})
 
 	// M-step.
@@ -334,12 +264,106 @@ func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *a
 			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
 		}
 	}
+	if model.AssertionsEnabled {
+		model.AssertRowStochastic("ttcam theta", m.theta, k1, 1e-9)
+		model.AssertRowStochastic("ttcam phi", m.phi, V, 1e-9)
+		model.AssertRowStochastic("ttcam thetaTx", m.thetaTx, k2, 1e-9)
+		model.AssertRowStochastic("ttcam phiX", m.phiX, V, 1e-9)
+		model.AssertFiniteIn01("ttcam lambda", m.lambda)
+	}
 
 	var ll float64
 	for _, x := range acc.llW {
 		ll += x
 	}
 	return ll
+}
+
+// emUserRange runs the E-step over one worker's user range [lo, hi),
+// accumulating sufficient statistics into the worker's slabs. All
+// scratch is pre-sized in the accumulators so the per-iteration inner
+// loop never touches the allocator.
+//
+//tcam:hotpath
+func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, worker, lo, hi int) {
+	k1, k2, V := m.k1, m.k2, m.numItems
+	cells := data.Cells()
+	bw := m.backgroundW
+	phiAcc := acc.phiW[worker]
+	phiXAcc := acc.phiXW[worker]
+	thetaTxAcc := acc.thetaTxW[worker]
+	pz := acc.pzW[worker]
+	px := acc.pxW[worker]
+	var ll float64
+	for u := lo; u < hi; u++ {
+		lam := m.lambda[u]
+		thetaRow := m.theta[u*k1 : (u+1)*k1]
+		for _, ci := range data.UserCells(u) {
+			cell := cells[ci]
+			v, t, w := int(cell.V), int(cell.T), cell.Score
+
+			// E-step — Equations (4), (5) and (13).
+			var pu float64
+			for z := 0; z < k1; z++ {
+				p := thetaRow[z] * m.phi[z*V+v]
+				pz[z] = p
+				pu += p
+			}
+			thetaTxRow := m.thetaTx[t*k2 : (t+1)*k2]
+			var pt float64
+			for x := 0; x < k2; x++ {
+				p := thetaTxRow[x] * m.phiX[x*V+v]
+				px[x] = p
+				pt += p
+			}
+			mix := lam*pu + (1-lam)*pt
+			denom := mix
+			var pbg float64 // posterior mass of the background path
+			if bw > 0 {
+				denom = bw*m.background[v] + (1-bw)*mix
+				if denom <= 0 {
+					denom = 1e-300
+				}
+				pbg = bw * m.background[v] / denom
+			} else if denom <= 0 {
+				denom = 1e-300
+			}
+			ll += w * math.Log(denom)
+
+			// Mixture-path posteriors, discounted by the background.
+			var ps1 float64
+			if mix > 0 {
+				ps1 = (1 - pbg) * lam * pu / mix
+			}
+			ps0 := (1 - pbg) - ps1
+
+			// Accumulate numerators of Equations (8)–(9), (11),
+			// (15)–(16).
+			if pu > 0 && ps1 > 0 {
+				scale := w * ps1 / pu
+				for z := 0; z < k1; z++ {
+					c := scale * pz[z]
+					acc.theta[u*k1+z] += c
+					phiAcc[z*V+v] += c
+				}
+			}
+			if pt > 0 && ps0 > 0 {
+				scale := w * ps0 / pt
+				for x := 0; x < k2; x++ {
+					c := scale * px[x]
+					thetaTxAcc[t*k2+x] += c
+					phiXAcc[x*V+v] += c
+				}
+			}
+			lm := w
+			if cfg.LambdaMass != nil {
+				lm = cfg.LambdaMass[ci]
+			}
+			acc.lamNum[u] += lm * ps1
+			acc.lamDen[u] += lm * (ps1 + ps0)
+		}
+	}
+	acc.llW[worker] = ll
 }
 
 func clampLambda(x float64) float64 {
@@ -432,6 +456,8 @@ func (m *Model) TimeTopic(x int) []float64 { return m.phiX[x*m.numItems : (x+1)*
 
 // Score implements the TTCAM likelihood (Equations 1 and 12), including
 // the optional background mixture.
+//
+//tcam:hotpath
 func (m *Model) Score(u, t, v int) float64 {
 	var pu float64
 	thetaRow := m.UserInterest(u)
@@ -452,22 +478,51 @@ func (m *Model) Score(u, t, v int) float64 {
 }
 
 // ScoreAll fills scores[v] with Score(u, t, v) for every item in one
-// pass over the topic matrices.
+// pass over the topic matrices. The per-topic weights and accumulation
+// order are exactly those of QueryWeightsInto over TopicItems (user
+// topics ascending, then time topics, then the background), so results
+// stay bit-identical to the index-based scorer — without materializing
+// the weight vector.
+//
+//tcam:hotpath
 func (m *Model) ScoreAll(u, t int, scores []float64) {
 	if len(scores) != m.numItems {
 		panic(fmt.Sprintf("ttcam: ScoreAll buffer %d, want %d", len(scores), m.numItems))
 	}
-	w := m.QueryWeights(u, t)
 	for v := range scores {
 		scores[v] = 0
 	}
-	for z, wz := range w {
-		if wz == 0 {
+	lam := m.lambda[u]
+	scale := 1.0
+	if m.backgroundW > 0 {
+		scale = 1 - m.backgroundW
+	}
+	thetaRow := m.UserInterest(u)
+	for z := 0; z < m.k1; z++ {
+		wz := scale * lam * thetaRow[z]
+		if wz <= 0 {
 			continue
 		}
-		row := m.TopicItems(z)
+		row := m.UserTopic(z)
 		for v := range scores {
 			scores[v] += wz * row[v]
+		}
+	}
+	ctxRow := m.TemporalContext(t)
+	for x := 0; x < m.k2; x++ {
+		wz := scale * (1 - lam) * ctxRow[x]
+		if wz <= 0 {
+			continue
+		}
+		row := m.TimeTopic(x)
+		for v := range scores {
+			scores[v] += wz * row[v]
+		}
+	}
+	if m.backgroundW > 0 {
+		wz := m.backgroundW
+		for v := range scores {
+			scores[v] += wz * m.background[v]
 		}
 	}
 }
@@ -492,6 +547,8 @@ func (m *Model) QueryWeights(u, t int) []float64 {
 
 // QueryWeightsInto is the allocation-free form of QueryWeights: it
 // overwrites every entry of out, which must have length NumTopics().
+//
+//tcam:hotpath
 func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 	lam := m.lambda[u]
 	scale := 1.0
@@ -511,6 +568,8 @@ func (m *Model) QueryWeightsInto(u, t int, out []float64) {
 
 // TopicItems returns ϕ_z̃ of Equation (21): user-oriented topics first,
 // then time-oriented topics, then the optional background.
+//
+//tcam:hotpath
 func (m *Model) TopicItems(z int) []float64 {
 	switch {
 	case z < m.k1:

@@ -210,7 +210,7 @@ func (m *Model) ScoreAll(u, _ int, scores []float64) {
 	thetaRow := m.UserInterest(u)
 	for z := 0; z < m.k; z++ {
 		w := (1 - m.lambdaB) * thetaRow[z]
-		if w == 0 {
+		if w <= 0 {
 			continue
 		}
 		row := m.Topic(z)

@@ -347,7 +347,10 @@ type excludeSet struct {
 	epoch uint32
 }
 
-func (e *excludeSet) add(v int)      { e.stamp[v] = e.epoch }
+//tcam:hotpath
+func (e *excludeSet) add(v int) { e.stamp[v] = e.epoch }
+
+//tcam:hotpath
 func (e *excludeSet) has(v int) bool { return e.stamp[v] == e.epoch }
 
 // acquireExclude takes an empty exclude set from the pool; return it

@@ -24,7 +24,7 @@ func Gamma(rng *rand.Rand, shape, rate float64) float64 {
 	if shape < 1 {
 		// Boosting: G(a) = G(a+1) · U^{1/a}.
 		u := rng.Float64()
-		for u == 0 {
+		for u <= 0 {
 			u = rng.Float64()
 		}
 		return Gamma(rng, shape+1, rate) * math.Pow(u, 1/shape)

@@ -32,14 +32,17 @@ type Searcher struct {
 // the index pool.
 func (ix *Index) NewSearcher() *Searcher {
 	return &Searcher{
-		ix:   ix,
-		pos:  make([]int, ix.numTopics),
-		seen: make([]uint32, ix.numItems),
+		ix:    ix,
+		pos:   make([]int, ix.numTopics),
+		seen:  make([]uint32, ix.numItems),
+		query: make([]float64, ix.numTopics),
 	}
 }
 
 // AcquireSearcher takes a searcher from the index's pool, creating one
 // when the pool is empty. Pair with Release.
+//
+//tcam:hotpath
 func (ix *Index) AcquireSearcher() *Searcher {
 	if s, ok := ix.searchers.Get().(*Searcher); ok {
 		return s
@@ -49,18 +52,19 @@ func (ix *Index) AcquireSearcher() *Searcher {
 
 // Release returns the searcher to its index's pool. The searcher (and
 // any result slice it returned) must not be used afterwards.
+//
+//tcam:hotpath
 func (s *Searcher) Release() { s.ix.searchers.Put(s) }
 
 // Query answers the temporal top-k query (u, t), writing results into
 // searcher-owned scratch. When ts implements model.QueryWeighter the ϑq
-// vector is materialized into reusable scratch too, making the whole
-// call allocation-free at steady state.
+// vector is materialized into scratch NewSearcher pre-sized to the
+// index's topic count, making the whole call allocation-free at steady
+// state.
+//
+//tcam:hotpath
 func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Result, Stats) {
 	if qw, ok := ts.(model.QueryWeighter); ok {
-		if cap(s.query) < s.ix.numTopics {
-			s.query = make([]float64, s.ix.numTopics)
-		}
-		s.query = s.query[:s.ix.numTopics]
 		qw.QueryWeightsInto(u, t, s.query)
 		return s.QueryWeights(s.query, k, exclude)
 	}
@@ -84,6 +88,8 @@ func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]
 //     hair early, so the exact O(K) recompute confirms the bound before
 //     the loop actually breaks; an inflated running value merely delays
 //     the cheap check and never affects correctness.
+//
+//tcam:hotpath
 func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
 	ix := s.ix
 	st := Stats{}

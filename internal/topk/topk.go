@@ -120,10 +120,10 @@ func BuildIndex(ts model.TopicScorer) *Index {
 				list[item] = entry{item: int32(item), weight: weights[item]}
 			}
 			slices.SortFunc(list, func(a, b entry) int {
-				if a.weight != b.weight {
-					if a.weight > b.weight {
-						return -1
-					}
+				if a.weight > b.weight {
+					return -1
+				}
+				if a.weight < b.weight {
 					return 1
 				}
 				return int(a.item) - int(b.item)
@@ -150,11 +150,13 @@ func (ix *Index) NumItems() int { return ix.numItems }
 
 // Score computes S(u,t,v) = Σ_z ϑ_z·ϕ_zv for a query-weight vector, in
 // O(K) via the transposed table.
+//
+//tcam:hotpath
 func (ix *Index) Score(query []float64, item int) float64 {
 	row := ix.byItem[item*ix.numTopics : (item+1)*ix.numTopics]
 	var s float64
 	for z, w := range query {
-		if w != 0 {
+		if w > 0 {
 			s += w * row[z]
 		}
 	}
@@ -201,6 +203,8 @@ func cloneResults(res []Result) []Result {
 // possible score of any unexamined item, aggregating each active list's
 // current head weight. The hot path maintains this value incrementally
 // and only calls the exact recompute to confirm termination.
+//
+//tcam:hotpath
 func (ix *Index) threshold(query []float64, pos []int) float64 {
 	var s float64
 	for z, w := range query {
@@ -225,13 +229,18 @@ type listRef struct {
 // allocate on each push.
 type listHeap []listRef
 
+//tcam:hotpath
 func (h listHeap) less(a, b int) bool {
-	if h[a].priority != h[b].priority {
-		return h[a].priority > h[b].priority
+	if h[a].priority > h[b].priority {
+		return true
+	}
+	if h[a].priority < h[b].priority {
+		return false
 	}
 	return h[a].topic < h[b].topic
 }
 
+//tcam:hotpath
 func (h *listHeap) push(x listRef) {
 	*h = append(*h, x)
 	s := *h
@@ -246,6 +255,7 @@ func (h *listHeap) push(x listRef) {
 	}
 }
 
+//tcam:hotpath
 func (h *listHeap) pop() listRef {
 	s := *h
 	top := s[0]
@@ -283,6 +293,8 @@ type resultHeap struct {
 
 // reset prepares the heap for a fresh query of size k, keeping the
 // backing array.
+//
+//tcam:hotpath
 func (h *resultHeap) reset(k int) {
 	h.k = k
 	h.items = h.items[:0]
@@ -290,13 +302,18 @@ func (h *resultHeap) reset(k int) {
 
 func (h *resultHeap) Len() int { return len(h.items) }
 
+//tcam:hotpath
 func (h *resultHeap) less(a, b int) bool {
-	if h.items[a].Score != h.items[b].Score {
-		return h.items[a].Score < h.items[b].Score
+	if h.items[a].Score < h.items[b].Score {
+		return true
+	}
+	if h.items[a].Score > h.items[b].Score {
+		return false
 	}
 	return h.items[a].Item > h.items[b].Item
 }
 
+//tcam:hotpath
 func (h *resultHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -308,6 +325,7 @@ func (h *resultHeap) up(i int) {
 	}
 }
 
+//tcam:hotpath
 func (h *resultHeap) down(i int) {
 	n := len(h.items)
 	for {
@@ -328,10 +346,14 @@ func (h *resultHeap) down(i int) {
 }
 
 // min returns the current k-th best result. Only valid when Len() > 0.
+//
+//tcam:hotpath
 func (h *resultHeap) min() Result { return h.items[0] }
 
 // offer inserts r, evicting the worst element when the heap is full and
 // r beats it.
+//
+//tcam:hotpath
 func (h *resultHeap) offer(r Result) {
 	if len(h.items) < h.k {
 		h.items = append(h.items, r)
@@ -339,7 +361,7 @@ func (h *resultHeap) offer(r Result) {
 		return
 	}
 	worst := h.items[0]
-	if r.Score > worst.Score || (r.Score == worst.Score && r.Item < worst.Item) {
+	if r.Score > worst.Score || (r.Score >= worst.Score && r.Item < worst.Item) {
 		h.items[0] = r
 		h.down(0)
 	}
@@ -347,6 +369,8 @@ func (h *resultHeap) offer(r Result) {
 
 // appendSorted drains the heap onto dst in descending-score (then
 // ascending-item) order and returns the extended slice.
+//
+//tcam:hotpath
 func (h *resultHeap) appendSorted(dst []Result) []Result {
 	n := len(h.items)
 	base := len(dst)
@@ -358,6 +382,8 @@ func (h *resultHeap) appendSorted(dst []Result) []Result {
 }
 
 // popMin removes and returns the worst retained result.
+//
+//tcam:hotpath
 func (h *resultHeap) popMin() Result {
 	x := h.items[0]
 	last := len(h.items) - 1

@@ -88,12 +88,12 @@ func (s *Scheme) IUF(v int) float64 {
 // t gets 0.
 func (s *Scheme) Burst(v, t int) float64 {
 	ntv := float64(s.ntv[t][int32(v)])
-	if ntv == 0 {
+	if ntv <= 0 {
 		return 0
 	}
 	nt := float64(s.intUsers[t])
 	nv := float64(s.itemUsers[v])
-	if nt == 0 || nv == 0 {
+	if nt <= 0 || nv <= 0 {
 		return 0
 	}
 	return (ntv / nt) * (s.n / nv)

@@ -1,10 +1,13 @@
 #!/bin/sh
-# Repo hygiene gate: formatting, vet, and race-enabled tests on the
-# concurrency-sensitive packages (the pooled TA searcher and the HTTP
-# serving layer), then the full suite without -race.
+# Repo hygiene gate: formatting, vet, the tcamvet static-analysis suite,
+# and race-enabled tests on the concurrency-sensitive packages (the
+# pooled TA searcher and the HTTP serving layer), then the full suite,
+# a tcamcheck assertion build of the models, and an allocation gate on
+# the pooled-searcher benchmarks.
 #
 # Usage: scripts/check.sh [-short]
-#   -short   skip the full (slow) test suite; run only the race gate
+#   -short   skip the slow gates; run only formatting, vet, tcamvet and
+#            the race tests
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,10 +20,34 @@ fi
 
 go vet ./...
 
+# Repo-specific invariants: hot-path allocation rules, float equality,
+# seeded randomness, panic message hygiene and dropped errors. Findings
+# fail the gate.
+go run ./cmd/tcamvet ./...
+
 # The packages where scratch reuse and pooling could race.
 go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/
 
 if [ "${1:-}" != "-short" ]; then
     go test ./...
+
+    # Debug-assertion build: train the models with the tcamcheck runtime
+    # invariants compiled in (every θ/ϕ row sums to 1 ± 1e-9 and stays
+    # finite after each M-step; λ stays in [0,1]).
+    go test -tags tcamcheck -count=1 ./internal/model/...
+
+    # Allocation gate: the pooled TA searcher must stay allocation-free
+    # at steady state. Parse -benchmem output and reject any benchmark
+    # reporting a nonzero allocs/op.
+    bench_out=$(go test ./internal/topk -run - \
+        -bench 'BenchmarkTAQuery$|BenchmarkTAQueryParallel$' \
+        -benchmem -benchtime 200x -count=1)
+    echo "$bench_out"
+    if ! echo "$bench_out" | awk '
+        /^Benchmark/ { if ($(NF-1) + 0 != 0) bad = 1 }
+        END { exit bad }'; then
+        echo "check.sh: pooled-searcher benchmark allocates (want 0 allocs/op)" >&2
+        exit 1
+    fi
 fi
 echo "check.sh: OK"
