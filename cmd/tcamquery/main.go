@@ -1,27 +1,36 @@
-// Command tcamquery answers temporal top-k queries against a trained
-// bundle from the command line, printing the ranked items with scores.
+// Command tcamquery answers temporal top-k queries from the command
+// line, printing the ranked items with scores. It reads either a local
+// trained bundle or a running tcamserver instance.
 //
 // Usage:
 //
 //	tcamquery -bundle digg.tcam -user u00042 -time 37 [-k 10] [-exclude item1,item2]
 //	tcamquery -bundle digg.tcam -users u00042,u00091,u00007 -time 37 [-k 10]
+//	tcamquery -server http://localhost:8080 -user u00042 -time 37 [-k 10]
+//	tcamquery -server http://localhost:8080 -users u00042,u00091 -time 37
 //
-// With -users, all queries run as one batch through the parallel
-// serving path (pooled Threshold-Algorithm scratch per worker).
+// With -users, all queries run as one batch: locally through the
+// parallel serving path (pooled Threshold-Algorithm scratch per
+// worker), remotely as a single /recommend/batch round trip. Remote
+// calls retry shed (429) and unavailable (503) responses with jittered
+// backoff, honoring the server's Retry-After hint.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"tcam"
+	"tcam/internal/client"
 )
 
 func main() {
 	var (
-		bundle  = flag.String("bundle", "", "trained bundle path (required)")
+		bundle  = flag.String("bundle", "", "trained bundle path (local mode)")
+		server  = flag.String("server", "", "tcamserver base URL (remote mode, e.g. http://localhost:8080)")
 		user    = flag.String("user", "", "user identifier")
 		users   = flag.String("users", "", "comma-separated user identifiers (batch mode)")
 		when    = flag.Int64("time", 0, "query time in dataset ticks")
@@ -30,15 +39,25 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	if *users != "" {
+	switch {
+	case *server != "":
+		err = runRemote(*server, *user, *users, *when, *k, *exclude)
+	case *users != "":
 		err = runBatch(*bundle, *users, *when, *k, *exclude)
-	} else {
+	default:
 		err = run(*bundle, *user, *when, *k, *exclude)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcamquery:", err)
 		os.Exit(1)
 	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 func run(bundlePath, user string, when int64, k int, exclude string) error {
@@ -49,11 +68,7 @@ func run(bundlePath, user string, when int64, k int, exclude string) error {
 	if err != nil {
 		return err
 	}
-	var banned []string
-	if exclude != "" {
-		banned = strings.Split(exclude, ",")
-	}
-	results, err := rec.RecommendExcluding(user, when, k, banned)
+	results, err := rec.RecommendExcluding(user, when, k, splitList(exclude))
 	if err != nil {
 		return err
 	}
@@ -77,10 +92,7 @@ func runBatch(bundlePath, users string, when int64, k int, exclude string) error
 	if err != nil {
 		return err
 	}
-	var banned []string
-	if exclude != "" {
-		banned = strings.Split(exclude, ",")
-	}
+	banned := splitList(exclude)
 	ids := strings.Split(users, ",")
 	queries := make([]tcam.BatchQuery, len(ids))
 	for i, id := range ids {
@@ -98,4 +110,53 @@ func runBatch(bundlePath, users string, when int64, k int, exclude string) error
 		}
 	}
 	return nil
+}
+
+// runRemote asks a running tcamserver instead of loading a bundle.
+func runRemote(baseURL, user, users string, when int64, k int, exclude string) error {
+	if user == "" && users == "" {
+		return fmt.Errorf("-user or -users is required with -server")
+	}
+	c, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	banned := splitList(exclude)
+	if users == "" {
+		res, err := c.Recommend(ctx, user, when, k, banned)
+		if err != nil {
+			return err
+		}
+		printRemote(res, when, k)
+		return nil
+	}
+	ids := strings.Split(users, ",")
+	queries := make([]client.BatchQuery, len(ids))
+	for i, id := range ids {
+		queries[i] = client.BatchQuery{User: id, Time: when, K: k, Exclude: banned}
+	}
+	batch, err := c.RecommendBatch(ctx, queries)
+	if err != nil {
+		return err
+	}
+	for i := range batch.Results {
+		printRemote(&batch.Results[i], when, k)
+	}
+	if batch.Truncated {
+		fmt.Printf("(server truncated the batch: %d of %d queries answered)\n",
+			len(batch.Results), len(queries))
+	}
+	return nil
+}
+
+func printRemote(res *client.RecommendResult, when int64, k int) {
+	if res.Error != "" {
+		fmt.Printf("top-%d for %s at t=%d: error: %s\n", k, res.User, when, res.Error)
+		return
+	}
+	fmt.Printf("top-%d for %s at t=%d (interval %d):\n", k, res.User, when, res.Interval)
+	for i, r := range res.Recommendations {
+		fmt.Printf("%3d. %-40s %.6g\n", i+1, r.Item, r.Score)
+	}
 }

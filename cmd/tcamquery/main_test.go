@@ -2,10 +2,13 @@ package main
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
 	"tcam"
+	"tcam/internal/index"
+	"tcam/internal/server"
 )
 
 func trainedBundle(t *testing.T) string {
@@ -65,6 +68,36 @@ func TestQueryRunBatch(t *testing.T) {
 	}
 	if err := runBatch(bundle, "user3", 2, 3, "item-0,item-1"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Remote mode runs the same queries through a live internal/server
+// instance end to end: CLI → retrying client → HTTP → TA index.
+func TestQueryRunRemote(t *testing.T) {
+	b, err := index.Load(trainedBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if err := runRemote(ts.URL, "user3", "", 2, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRemote(ts.URL, "", "user3,user5,user0", 2, 3, "item-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRemote(ts.URL, "", "", 2, 3, ""); err == nil {
+		t.Error("runRemote accepted neither -user nor -users")
+	}
+	if err := runRemote(ts.URL, "nobody", "", 2, 3, ""); err == nil {
+		t.Error("runRemote accepted unknown user")
+	}
+	if err := runRemote("", "user3", "", 2, 3, ""); err == nil {
+		t.Error("runRemote accepted empty server URL")
 	}
 }
 

@@ -1,54 +1,167 @@
 // Command tcamserver serves a trained bundle over HTTP (see
-// internal/server for the endpoint list).
+// internal/server for the endpoint list) with a production lifecycle:
+// hardened timeouts, graceful drain on SIGINT/SIGTERM, hot bundle
+// reload on SIGHUP or POST /admin/reload, and bounded in-flight
+// admission control.
 //
 // Usage:
 //
 //	tcamserver -bundle digg.tcam [-addr :8080]
+//	    [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//	    [-drain-timeout 30s] [-max-inflight 1024] [-max-inflight-batch 64]
+//
+// Signals:
+//
+//	SIGINT/SIGTERM  flip /readyz to 503, stop the listener, and drain
+//	                in-flight requests for up to -drain-timeout
+//	SIGHUP          reload the bundle from -bundle without dropping
+//	                traffic (atomic snapshot swap; /healthz shows the
+//	                bundle version)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tcam/internal/index"
 	"tcam/internal/server"
 )
 
+// config carries everything run needs; flags populate it in main and
+// tests populate it directly.
+type config struct {
+	bundlePath string
+	addr       string
+
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	drainTimeout      time.Duration
+
+	maxInflight      int
+	maxInflightBatch int
+
+	logger  *log.Logger
+	onReady func(addr string) // test hook: fires once the listener is bound and signals are wired
+}
+
 func main() {
-	var (
-		bundlePath = flag.String("bundle", "", "trained bundle path (required)")
-		addr       = flag.String("addr", ":8080", "listen address")
-	)
+	cfg := config{logger: log.New(os.Stderr, "tcamserver ", log.LstdFlags)}
+	flag.StringVar(&cfg.bundlePath, "bundle", "", "trained bundle path (required)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "max time to read a full request")
+	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second, "max time to read request headers")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "max time to write a response")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", server.DefaultMaxInflight, "concurrent /recommend budget (<=0 unlimited)")
+	flag.IntVar(&cfg.maxInflightBatch, "max-inflight-batch", server.DefaultMaxInflightBatch, "concurrent /recommend/batch budget (<=0 unlimited)")
 	flag.Parse()
-	if err := run(*bundlePath, *addr); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bundlePath, addr string) error {
-	srv, b, err := buildServer(bundlePath)
+// run serves until SIGINT/SIGTERM, then drains and returns. SIGHUP
+// triggers a hot reload in between.
+func run(cfg config) error {
+	srv, b, err := buildServer(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s bundle (%d users, %d items) on %s\n", b.Kind, len(b.Users), len(b.Items), addr)
-	fmt.Println("endpoints: /healthz  /recommend?user=&time=&k=  POST /recommend/batch  /topics/{z}?n=  /users/{id}/lambda")
-	return http.ListenAndServe(addr, srv)
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+		ErrorLog:          cfg.logger,
+	}
+
+	// Signals are wired before the listener accepts anything, so a
+	// supervisor can never fire one into the default handler.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigs)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	cfg.logf("serving %s bundle (%d users, %d items) on %s", b.Kind, len(b.Users), len(b.Items), ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if cfg.onReady != nil {
+		cfg.onReady(ln.Addr().String())
+	}
+
+	for {
+		select {
+		case err := <-serveErr:
+			return err // listener died without a shutdown signal
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if v, err := srv.ReloadFromSource(); err != nil {
+					cfg.logf("SIGHUP reload failed: %v", err)
+				} else {
+					cfg.logf("SIGHUP reload ok: bundle version %d", v)
+				}
+				continue
+			}
+			cfg.logf("%s: draining (deadline %s)", sig, cfg.drainTimeout)
+			srv.StartDrain()
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			if serveResult := <-serveErr; !errors.Is(serveResult, http.ErrServerClosed) {
+				return serveResult
+			}
+			if err != nil {
+				return fmt.Errorf("drain deadline exceeded: %w", err)
+			}
+			cfg.logf("drained cleanly")
+			return nil
+		}
+	}
 }
 
-// buildServer loads the bundle and constructs the handler; split from
-// run so tests can exercise everything short of listening.
-func buildServer(bundlePath string) (*server.Server, *index.Bundle, error) {
-	if bundlePath == "" {
+func (cfg config) logf(format string, args ...interface{}) {
+	if cfg.logger != nil {
+		cfg.logger.Printf(format, args...)
+	}
+}
+
+// buildServer loads the bundle and constructs the handler with the
+// lifecycle layer wired: in-flight limits, a reloader re-reading
+// -bundle, and the process logger. Split from run so tests can
+// exercise everything short of listening.
+func buildServer(cfg config) (*server.Server, *index.Bundle, error) {
+	if cfg.bundlePath == "" {
 		return nil, nil, fmt.Errorf("-bundle is required")
 	}
-	b, err := index.Load(bundlePath)
+	b, err := index.Load(cfg.bundlePath)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := server.New(b)
+	opts := []server.Option{
+		server.WithLimits(cfg.maxInflight, cfg.maxInflightBatch),
+		server.WithReloader(func() (*index.Bundle, error) { return index.Load(cfg.bundlePath) }),
+	}
+	if cfg.logger != nil {
+		opts = append(opts, server.WithLogger(cfg.logger))
+	}
+	srv, err := server.New(b, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

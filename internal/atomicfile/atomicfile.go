@@ -1,0 +1,54 @@
+// Package atomicfile writes files crash-safely: content goes to a
+// temporary file in the destination's directory, is fsynced, and only
+// then renamed over the destination. A crash (or write error) at any
+// point leaves either the old file or the new one — never a torn or
+// truncated artifact. The hot-reload path of the serving stack depends
+// on this: a bundle being retrained in place must stay loadable until
+// the very instant the complete replacement appears.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes produced by write.
+// The temporary file is created next to path (rename is only atomic
+// within one filesystem) and removed on any failure.
+func Write(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			//tcamvet:ignore errcheck already on the error path; the close error cannot improve it
+			f.Close()
+			//tcamvet:ignore errcheck best-effort cleanup of the abandoned temp file
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	// Sync before rename: otherwise a crash can publish a name whose
+	// data blocks never reached disk, which is exactly the torn state
+	// this package exists to prevent.
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

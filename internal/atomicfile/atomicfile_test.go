@@ -1,0 +1,115 @@
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestWriteReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	for i, want := range []string{"first", "second longer payload"} {
+		if err := Write(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, want)
+			return err
+		}); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("round %d: content = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// A failing writer must leave the previous file byte-identical and no
+// temp debris behind — the crash-mid-save contract hot reload relies on.
+func TestWriteFailurePreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.bin")
+	if err := os.WriteFile(path, []byte("old good bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	err := Write(path, func(w io.Writer) error {
+		// Partially write, then fail: the partial bytes must never be
+		// published under path.
+		if _, err := io.WriteString(w, "new but torn"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old good bundle" {
+		t.Errorf("old file clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "bundle.bin" {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "f")
+	if err := Write(path, func(io.Writer) error { return nil }); err == nil {
+		t.Error("Write into a missing directory succeeded")
+	}
+}
+
+func TestWriteRelativePath(t *testing.T) {
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := Write("rel.txt", func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "ok")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("rel.txt"); err != nil {
+		t.Error(err)
+	}
+}

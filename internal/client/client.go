@@ -1,0 +1,329 @@
+// Package client is a retrying HTTP client for the tcamserver API. It
+// complements the server's load shedding: a shed (429) or unavailable
+// (503) response is retried with capped, jittered exponential backoff,
+// honoring the server's Retry-After hint, so a fleet of well-behaved
+// clients converges instead of hammering a saturated instance.
+//
+// Retries are bounded, jitter comes from an explicitly seeded source
+// (deterministic under test), and every wait respects the caller's
+// context.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Client; zero fields take defaults.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://localhost:8080".
+	BaseURL string
+	// MaxRetries bounds re-attempts after the first try (default 3, so
+	// at most 4 requests per call). Negative disables retries.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 50ms); attempt
+	// n waits ~BaseDelay·2ⁿ, jittered, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (default 2s). A server
+	// Retry-After hint overrides the computed value.
+	MaxDelay time.Duration
+	// Seed makes the jitter stream reproducible (default 1).
+	Seed int64
+	// HTTPClient overrides the transport (default: 30s total timeout).
+	HTTPClient *http.Client
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	base       string
+	maxRetries int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+	hc         *http.Client
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	sleep func(ctx context.Context, d time.Duration) error // test seam
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL is required")
+	}
+	c := &Client{
+		base:       strings.TrimRight(cfg.BaseURL, "/"),
+		maxRetries: cfg.MaxRetries,
+		baseDelay:  cfg.BaseDelay,
+		maxDelay:   cfg.MaxDelay,
+		hc:         cfg.HTTPClient,
+		sleep:      sleepCtx,
+	}
+	if cfg.MaxRetries == 0 {
+		c.maxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		c.maxRetries = 0
+	}
+	if c.baseDelay <= 0 {
+		c.baseDelay = 50 * time.Millisecond
+	}
+	if c.maxDelay <= 0 {
+		c.maxDelay = 2 * time.Second
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c, nil
+}
+
+// APIError is a non-success server response that was not retried away.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Recommendation is one ranked item.
+type Recommendation struct {
+	Item  string  `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// RecommendResult mirrors the server's /recommend payload (and one
+// entry of a batch response, where a per-query failure sets Error).
+type RecommendResult struct {
+	User            string           `json:"user"`
+	Interval        int              `json:"interval"`
+	Recommendations []Recommendation `json:"recommendations"`
+	ItemsExamined   int              `json:"items_examined"`
+	Error           string           `json:"error,omitempty"`
+}
+
+// BatchQuery is one entry of a batch request.
+type BatchQuery struct {
+	User    string   `json:"user"`
+	Time    int64    `json:"time"`
+	K       int      `json:"k,omitempty"`
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+// BatchResult mirrors the server's /recommend/batch payload. Truncated
+// reports a batch cut short by the server's request deadline; Results
+// then holds only the completed prefix.
+type BatchResult struct {
+	Results   []RecommendResult `json:"results"`
+	Truncated bool              `json:"truncated,omitempty"`
+}
+
+// Health mirrors /healthz.
+type Health struct {
+	Status    string `json:"status"`
+	ModelKind string `json:"model_kind"`
+	Users     int    `json:"users"`
+	Items     int    `json:"items"`
+	Intervals int    `json:"intervals"`
+	Topics    int    `json:"topics"`
+	Version   uint64 `json:"version"`
+	Draining  bool   `json:"draining,omitempty"`
+}
+
+// Recommend fetches the temporal top-k for one user at a timestamp.
+func (c *Client) Recommend(ctx context.Context, user string, when int64, k int, exclude []string) (*RecommendResult, error) {
+	path := "/recommend?user=" + url.QueryEscape(user) + "&time=" + strconv.FormatInt(when, 10)
+	if k > 0 {
+		path += "&k=" + strconv.Itoa(k)
+	}
+	if len(exclude) > 0 {
+		escaped := make([]string, len(exclude))
+		for i, id := range exclude {
+			escaped[i] = url.QueryEscape(id)
+		}
+		path += "&exclude=" + strings.Join(escaped, ",")
+	}
+	var out RecommendResult
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RecommendBatch answers many queries in one round trip.
+func (c *Client) RecommendBatch(ctx context.Context, queries []BatchQuery) (*BatchResult, error) {
+	body, err := json.Marshal(struct {
+		Queries []BatchQuery `json:"queries"`
+	}{queries})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	var out BatchResult
+	if err := c.do(ctx, http.MethodPost, "/recommend/batch", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// retryable reports the statuses worth re-attempting: shed load,
+// drain/overload, and upstream gateway hiccups.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one logical call: attempt, and on a retryable failure wait
+// (Retry-After if the server said so, jittered exponential backoff
+// otherwise) and re-attempt, up to MaxRetries times.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		retryAfter := time.Duration(-1)
+		resp, err := c.hc.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // transport error: retryable (conn refused, reset, …)
+		case resp.StatusCode == http.StatusOK:
+			err := json.NewDecoder(resp.Body).Decode(out)
+			drainClose(resp)
+			if err != nil {
+				return fmt.Errorf("client: decode %s: %w", path, err)
+			}
+			return nil
+		default:
+			apiErr := &APIError{Status: resp.StatusCode, Message: errorMessage(resp)}
+			drainClose(resp)
+			if !retryable(resp.StatusCode) {
+				return apiErr
+			}
+			if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+				retryAfter = ra
+			}
+			lastErr = apiErr
+		}
+		if attempt >= c.maxRetries {
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		delay := c.backoff(attempt)
+		if retryAfter >= 0 {
+			delay = retryAfter
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return err
+		}
+	}
+}
+
+// backoff computes the jittered exponential delay for re-attempt n:
+// BaseDelay·2ⁿ capped at MaxDelay, then jittered to [d/2, d] so a
+// burst of shed clients decorrelates instead of retrying in lockstep.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseDelay
+	for i := 0; i < attempt && d < c.maxDelay; i++ {
+		d *= 2
+	}
+	if d > c.maxDelay {
+		d = c.maxDelay
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	return jittered
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the
+// form tcamserver emits). The HTTP-date form is ignored.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// errorMessage extracts the server's {"error": "..."} payload, falling
+// back to the raw body.
+func errorMessage(resp *http.Response) string {
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return resp.Status
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(raw) > 0 {
+		return string(raw)
+	}
+	return resp.Status
+}
+
+// drainClose discards any unread body so the connection can be reused.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	//tcamvet:ignore errcheck close error on a fully-drained response carries no signal
+	resp.Body.Close()
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"tcam/internal/atomicfile"
 )
 
 // jsonlRecord is the on-disk JSONL representation of one interaction,
@@ -118,18 +120,11 @@ func ReadCSV(r io.Reader) (*Interactions, error) {
 	}
 }
 
-// SaveJSONLFile writes the log to path, creating or truncating it.
+// SaveJSONLFile writes the log to path crash-safely (temp file in the
+// same directory, sync, rename), so an interrupted save never corrupts
+// an existing log.
 func (d *Interactions) SaveJSONLFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	//tcamvet:ignore errcheck error-path backstop; the success path returns f.Close() below
-	defer f.Close()
-	if err := d.WriteJSONL(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, d.WriteJSONL)
 }
 
 // LoadJSONLFile reads a log from path.

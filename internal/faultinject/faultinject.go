@@ -1,0 +1,122 @@
+// Package faultinject provides deterministic, test-only fault hooks for
+// the serving stack. Production code marks interesting points with
+// Fire("site"); tests arm a hook at a site to inject latency, a panic,
+// or a context cancellation at exactly that point, which turns
+// fault-tolerance claims ("an injected panic yields one 500 and the
+// server keeps serving") into ordinary deterministic tests.
+//
+// When no hook is armed, Fire is a single atomic load — cheap enough to
+// leave compiled into release binaries, and nothing in this package can
+// trigger without a test explicitly arming it.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// armed short-circuits Fire when no hooks are registered, keeping
+	// the instrumented paths at one atomic load in production.
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	hooks map[string]func()
+)
+
+// Fire invokes the hook armed at site, if any. Call it at the points a
+// fault should be injectable; with nothing armed it costs one atomic
+// load.
+func Fire(site string) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	fn := hooks[site]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set arms fn at site, replacing any previous hook there. fn runs on
+// the goroutine that calls Fire. Tests should pair Set with a deferred
+// Reset.
+func Set(site string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]func())
+	}
+	hooks[site] = fn
+	armed.Store(true)
+}
+
+// Clear disarms the hook at site.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, site)
+	if len(hooks) == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disarms every hook; defer it from any test that calls Set.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+	armed.Store(false)
+}
+
+// Panics returns a hook that panics with a constant message. Use it to
+// prove panic containment: the injected panic is indistinguishable from
+// a handler bug to the recovery middleware.
+func Panics() func() {
+	return func() { panic("faultinject: injected panic") }
+}
+
+// Sleeps returns a hook that blocks for d — injected latency for
+// timeout and drain tests.
+func Sleeps(d time.Duration) func() {
+	return func() { time.Sleep(d) }
+}
+
+// CancelsAfter returns a hook that calls cancel on its n-th firing
+// (1-based) and passes through otherwise — a deterministic way to
+// cancel a context mid-batch.
+func CancelsAfter(n int64, cancel func()) func() {
+	var calls atomic.Int64
+	return func() {
+		if calls.Add(1) == n {
+			cancel()
+		}
+	}
+}
+
+// FailsOnce returns a hook that invokes fail only on its first firing.
+// Use with Panics() to prove a single fault does not take the process
+// down: Set(site, FailsOnce(Panics())).
+func FailsOnce(fail func()) func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			fail()
+		}
+	}
+}
+
+// Blocks returns a hook that signals entry on entered (if non-nil) and
+// then blocks until release is closed — the building block for
+// "request in flight" tests: park a request inside the handler, poke
+// the server (drain, saturate, reload), then release.
+func Blocks(entered chan<- struct{}, release <-chan struct{}) func() {
+	return func() {
+		if entered != nil {
+			entered <- struct{}{}
+		}
+		<-release
+	}
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedIsNoop(t *testing.T) {
+	Reset()
+	Fire("nowhere") // must not panic or block
+}
+
+func TestSetFireClear(t *testing.T) {
+	defer Reset()
+	calls := 0
+	Set("site-a", func() { calls++ })
+	Fire("site-a")
+	Fire("site-a")
+	Fire("site-b") // unarmed site: no-op
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	Clear("site-a")
+	Fire("site-a")
+	if calls != 2 {
+		t.Errorf("calls after Clear = %d, want 2", calls)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	Set("x", func() { t.Error("hook fired after Reset") })
+	Reset()
+	Fire("x")
+	if armed.Load() {
+		t.Error("still armed after Reset")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer Reset()
+	Set("boom", Panics())
+	defer func() {
+		if recover() == nil {
+			t.Error("injected panic did not propagate")
+		}
+	}()
+	Fire("boom")
+}
+
+func TestFailsOncePanicsExactlyOnce(t *testing.T) {
+	defer Reset()
+	Set("boom", FailsOnce(Panics()))
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Fire("boom")
+		return false
+	}
+	if !panicked() {
+		t.Error("first Fire did not panic")
+	}
+	if panicked() {
+		t.Error("second Fire panicked; want pass-through")
+	}
+}
+
+func TestCancelsAfter(t *testing.T) {
+	defer Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	Set("step", CancelsAfter(3, cancel))
+	for i := 1; i <= 3; i++ {
+		if ctx.Err() != nil {
+			t.Fatalf("cancelled after %d firings, want 3", i-1)
+		}
+		Fire("step")
+	}
+	if ctx.Err() == nil {
+		t.Error("not cancelled after 3 firings")
+	}
+}
+
+func TestSleeps(t *testing.T) {
+	defer Reset()
+	Set("slow", Sleeps(10*time.Millisecond))
+	start := time.Now()
+	Fire("slow")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("slept %v, want >= 10ms", d)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	defer Reset()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	Set("park", Blocks(entered, release))
+	done := make(chan struct{})
+	go func() {
+		Fire("park")
+		close(done)
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("hook returned before release")
+	default:
+	}
+	close(release)
+	<-done
+}
+
+// Concurrent Fire/Set/Clear must be race-clean: the serving stack fires
+// hooks from request goroutines while tests arm and disarm them.
+func TestConcurrentFireAndSet(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Fire("contended")
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		Set("contended", func() {})
+		Clear("contended")
+	}
+	wg.Wait()
+}

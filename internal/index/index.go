@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"tcam/internal/atomicfile"
 	"tcam/internal/dataset"
 	"tcam/internal/model"
 	"tcam/internal/model/itcam"
@@ -157,18 +158,12 @@ func Read(r io.Reader) (*Bundle, error) {
 	return b, nil
 }
 
-// Save writes the bundle to path, creating or truncating it.
+// Save writes the bundle to path crash-safely: the bytes land in a
+// temp file that is synced and renamed over path, so an existing bundle
+// (possibly being served and hot-reloaded) is never left torn by a
+// crash mid-save.
 func (b *Bundle) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("index: %w", err)
-	}
-	//tcamvet:ignore errcheck error-path backstop; the success path returns f.Close() below
-	defer f.Close()
-	if err := b.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, b.Write)
 }
 
 // Load reads a bundle from path.

@@ -5,21 +5,32 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness + model metadata
+//	GET  /healthz                  liveness + model metadata + bundle version
+//	GET  /readyz                   readiness (503 while draining)
 //	GET  /recommend?user=&time=&k= temporal top-k for a user at a time
 //	POST /recommend/batch          many top-k queries in one request
+//	POST /admin/reload             hot-swap the bundle from the configured source
 //	GET  /topics/{z}?n=            top items of an expanded topic
 //	GET  /users/{id}/lambda        the user's learned mixing weight
+//
+// The serving state (bundle, TA index, vocabularies, pooled scratch)
+// lives in an immutable snapshot behind an atomic pointer, so a hot
+// reload swaps everything at once while in-flight requests keep the
+// view they started with. Request handling is wrapped in panic
+// recovery and bounded by per-endpoint in-flight limiters; see
+// lifecycle.go and DESIGN.md §9.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 
+	"tcam/internal/faultinject"
 	"tcam/internal/index"
 	"tcam/internal/topk"
 )
@@ -27,45 +38,66 @@ import (
 // maxBatchQueries bounds one /recommend/batch request.
 const maxBatchQueries = 1024
 
-// Server routes recommendation traffic onto a loaded bundle. It is safe
-// for concurrent use.
-type Server struct {
+// maxBatchBody bounds the /recommend/batch request body in bytes;
+// maxBatchQueries limits the parsed count, this limits what the JSON
+// decoder will even read.
+const maxBatchBody = 8 << 20
+
+// snapshot is one immutable generation of serving state. Handlers load
+// it once per request; Reload publishes a fresh one atomically, so no
+// request ever sees a half-swapped bundle/index/vocabulary mix.
+type snapshot struct {
 	bundle   *index.Bundle
 	idx      *topk.Index
 	userIdx  map[string]int
 	itemIdx  map[string]int
 	excludes sync.Pool // *excludeSet scratch for /recommend filtering
-	mux      *http.ServeMux
+	version  uint64    // 1 for the boot bundle, +1 per reload
 }
 
-// New builds a Server (and its TA index) from a bundle.
-func New(b *index.Bundle) (*Server, error) {
-	if err := b.Validate(); err != nil {
-		return nil, err
-	}
-	s := &Server{
+func newSnapshot(b *index.Bundle, version uint64) *snapshot {
+	sn := &snapshot{
 		bundle:  b,
 		idx:     b.BuildIndex(),
 		userIdx: make(map[string]int, len(b.Users)),
 		itemIdx: make(map[string]int, len(b.Items)),
-		mux:     http.NewServeMux(),
+		version: version,
 	}
 	for u, name := range b.Users {
-		s.userIdx[name] = u
+		sn.userIdx[name] = u
 	}
 	for v, name := range b.Items {
-		s.itemIdx[name] = v
+		sn.itemIdx[name] = v
 	}
+	return sn
+}
+
+// New builds a Server (and its TA index) from a bundle. Options
+// configure the lifecycle layer: in-flight limits, the reload source,
+// the logger.
+func New(b *index.Bundle, opts ...Option) (*Server, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{mux: http.NewServeMux()}
+	s.recLimit.max = DefaultMaxInflight
+	s.batchLimit.max = DefaultMaxInflightBatch
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.snap.Store(newSnapshot(b, 1))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
+	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	s.mux.HandleFunc("/topics/", s.handleTopic)
 	s.mux.HandleFunc("/users/", s.handleUser)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// snapshot returns the current serving generation.
+func (s *Server) snapshot() *snapshot { return s.snap.Load() }
 
 // healthResponse is the /healthz payload.
 type healthResponse struct {
@@ -75,6 +107,8 @@ type healthResponse struct {
 	Items     int    `json:"items"`
 	Intervals int    `json:"intervals"`
 	Topics    int    `json:"topics"`
+	Version   uint64 `json:"version"`
+	Draining  bool   `json:"draining,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -82,13 +116,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	sn := s.snapshot()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:    "ok",
-		ModelKind: string(s.bundle.Kind),
-		Users:     len(s.bundle.Users),
-		Items:     len(s.bundle.Items),
-		Intervals: s.bundle.Grid.Num,
-		Topics:    s.bundle.Scorer().NumTopics(),
+		ModelKind: string(sn.bundle.Kind),
+		Users:     len(sn.bundle.Users),
+		Items:     len(sn.bundle.Items),
+		Intervals: sn.bundle.Grid.Num,
+		Topics:    sn.bundle.Scorer().NumTopics(),
+		Version:   sn.version,
+		Draining:  s.draining.Load(),
 	})
 }
 
@@ -113,9 +150,20 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	if !s.recLimit.tryAcquire() {
+		shedLoad(w, "recommend capacity saturated")
+		return
+	}
+	defer s.recLimit.release()
+	faultinject.Fire("server.recommend")
+	if r.Context().Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	}
+	sn := s.snapshot()
 	q := r.URL.Query()
 	userID := q.Get("user")
-	u, ok := s.userIdx[userID]
+	u, ok := sn.userIdx[userID]
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown user %q", userID))
 		return
@@ -135,26 +183,26 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	var exclude topk.Exclude
 	if raw := q.Get("exclude"); raw != "" {
-		ex := s.acquireExclude()
-		defer s.excludes.Put(ex)
+		ex := sn.acquireExclude()
+		defer sn.excludes.Put(ex)
 		for raw != "" {
 			var id string
 			id, raw, _ = strings.Cut(raw, ",")
-			if v, ok := s.itemIdx[id]; ok {
+			if v, ok := sn.itemIdx[id]; ok {
 				ex.add(v)
 			}
 		}
 		exclude = ex.has
 	}
-	t := s.bundle.Grid.IntervalOf(when)
+	t := sn.bundle.Grid.IntervalOf(when)
 	// Build the response before Release: the pooled searcher owns the
 	// result slice, which saves the copy Index.Query would make.
-	sr := s.idx.AcquireSearcher()
-	results, st := sr.Query(s.bundle.Scorer(), u, t, k, exclude)
+	sr := sn.idx.AcquireSearcher()
+	results, st := sr.Query(sn.bundle.Scorer(), u, t, k, exclude)
 	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: st.ItemsExamined}
 	for _, res := range results {
 		resp.Recommendations = append(resp.Recommendations, recommendation{
-			Item:  s.bundle.Items[res.Item],
+			Item:  sn.bundle.Items[res.Item],
 			Score: res.Score,
 		})
 	}
@@ -176,22 +224,40 @@ type batchRequest struct {
 }
 
 // batchResponse is the /recommend/batch payload; Results aligns with
-// the request's Queries by position.
+// the request's Queries by position. When the request's context is
+// cancelled mid-batch, Truncated is true and Results holds only the
+// longest fully-answered prefix.
 type batchResponse struct {
-	Results []recommendResponse `json:"results"`
+	Results   []recommendResponse `json:"results"`
+	Truncated bool                `json:"truncated,omitempty"`
 }
 
 // handleRecommendBatch answers many temporal top-k queries in one POST,
-// fanning them across CPUs with Index.QueryBatch (pooled searcher
-// scratch per worker). Invalid entries fail individually via their
-// Error field; the batch itself only fails on malformed JSON or size.
+// fanning them across CPUs with Index.QueryBatchContext (pooled
+// searcher scratch per worker, cooperative cancellation between
+// queries). Invalid entries fail individually via their Error field;
+// the batch itself only fails on malformed JSON or size. A cancelled
+// request returns the completed prefix with "truncated": true, or 503
+// when nothing completed.
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if !s.batchLimit.tryAcquire() {
+		shedLoad(w, "batch capacity saturated")
+		return
+	}
+	defer s.batchLimit.release()
 	var req batchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
 		return
 	}
@@ -203,12 +269,14 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch limited to %d queries", maxBatchQueries))
 		return
 	}
+	faultinject.Fire("server.batch")
+	sn := s.snapshot()
 	resp := batchResponse{Results: make([]recommendResponse, len(req.Queries))}
 	queries := make([]topk.BatchQuery, len(req.Queries))
 	for i, q := range req.Queries {
 		out := &resp.Results[i]
 		out.User = q.User
-		u, ok := s.userIdx[q.User]
+		u, ok := sn.userIdx[q.User]
 		if !ok {
 			out.Error = fmt.Sprintf("unknown user %q", q.User)
 			continue // zero-value BatchQuery: K=0 ranks nothing
@@ -225,16 +293,17 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		if len(q.Exclude) > 0 {
 			banned := make(map[int]bool, len(q.Exclude))
 			for _, id := range q.Exclude {
-				if v, ok := s.itemIdx[id]; ok {
+				if v, ok := sn.itemIdx[id]; ok {
 					banned[v] = true
 				}
 			}
 			exclude = func(v int) bool { return banned[v] }
 		}
-		out.Interval = s.bundle.Grid.IntervalOf(q.Time)
+		out.Interval = sn.bundle.Grid.IntervalOf(q.Time)
 		queries[i] = topk.BatchQuery{U: u, T: out.Interval, K: k, Exclude: exclude}
 	}
-	for i, br := range s.idx.QueryBatch(s.bundle.Scorer(), queries, 0) {
+	batch := sn.idx.QueryBatchContext(r.Context(), sn.bundle.Scorer(), queries, 0)
+	for i, br := range batch {
 		out := &resp.Results[i]
 		if out.Error != "" {
 			continue
@@ -242,10 +311,23 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		out.ItemsExamined = br.Stats.ItemsExamined
 		for _, res := range br.Results {
 			out.Recommendations = append(out.Recommendations, recommendation{
-				Item:  s.bundle.Items[res.Item],
+				Item:  sn.bundle.Items[res.Item],
 				Score: res.Score,
 			})
 		}
+	}
+	if r.Context().Err() != nil {
+		// Cancelled mid-batch: keep the longest fully-answered prefix.
+		done := 0
+		for done < len(batch) && batch[done].Done {
+			done++
+		}
+		if done == 0 {
+			httpError(w, http.StatusServiceUnavailable, "request cancelled")
+			return
+		}
+		resp.Results = resp.Results[:done]
+		resp.Truncated = true
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -262,9 +344,10 @@ func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	sn := s.snapshot()
 	raw := strings.TrimPrefix(r.URL.Path, "/topics/")
 	z, err := strconv.Atoi(raw)
-	scorer := s.bundle.Scorer()
+	scorer := sn.bundle.Scorer()
 	if err != nil || z < 0 || z >= scorer.NumTopics() {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("topic must be in [0,%d)", scorer.NumTopics()))
 		return
@@ -279,26 +362,26 @@ func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
 	}
 	weights := scorer.TopicItems(z)
 	top, _ := topk.BruteForce(weightModel{weights}, 0, 0, n, nil)
-	resp := topicResponse{Topic: z, Kind: s.topicKind(z)}
+	resp := topicResponse{Topic: z, Kind: sn.topicKind(z)}
 	for _, res := range top {
-		resp.TopItems = append(resp.TopItems, recommendation{Item: s.bundle.Items[res.Item], Score: res.Score})
+		resp.TopItems = append(resp.TopItems, recommendation{Item: sn.bundle.Items[res.Item], Score: res.Score})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // topicKind labels an expanded-topic index as user- or time-oriented.
-func (s *Server) topicKind(z int) string {
-	switch s.bundle.Kind {
+func (sn *snapshot) topicKind(z int) string {
+	switch sn.bundle.Kind {
 	case index.KindTTCAM:
-		if z < s.bundle.TTCAM.K1() {
+		if z < sn.bundle.TTCAM.K1() {
 			return "user-oriented"
 		}
-		if z < s.bundle.TTCAM.K1()+s.bundle.TTCAM.K2() {
+		if z < sn.bundle.TTCAM.K1()+sn.bundle.TTCAM.K2() {
 			return "time-oriented"
 		}
 		return "background"
 	default:
-		if z < s.bundle.ITCAM.K1() {
+		if z < sn.bundle.ITCAM.K1() {
 			return "user-oriented"
 		}
 		return "interval-context"
@@ -318,23 +401,24 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	sn := s.snapshot()
 	rest := strings.TrimPrefix(r.URL.Path, "/users/")
 	parts := strings.Split(rest, "/")
 	if len(parts) != 2 || parts[1] != "lambda" {
 		httpError(w, http.StatusNotFound, "want /users/{id}/lambda")
 		return
 	}
-	u, ok := s.userIdx[parts[0]]
+	u, ok := sn.userIdx[parts[0]]
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown user %q", parts[0]))
 		return
 	}
 	var lambda float64
-	switch s.bundle.Kind {
+	switch sn.bundle.Kind {
 	case index.KindTTCAM:
-		lambda = s.bundle.TTCAM.Lambda(u)
+		lambda = sn.bundle.TTCAM.Lambda(u)
 	default:
-		lambda = s.bundle.ITCAM.Lambda(u)
+		lambda = sn.bundle.ITCAM.Lambda(u)
 	}
 	writeJSON(w, http.StatusOK, lambdaResponse{User: parts[0], Lambda: lambda})
 }
@@ -353,10 +437,12 @@ func (e *excludeSet) add(v int) { e.stamp[v] = e.epoch }
 //tcam:hotpath
 func (e *excludeSet) has(v int) bool { return e.stamp[v] == e.epoch }
 
-// acquireExclude takes an empty exclude set from the pool; return it
-// with s.excludes.Put once the query no longer holds it.
-func (s *Server) acquireExclude() *excludeSet {
-	if e, ok := s.excludes.Get().(*excludeSet); ok {
+// acquireExclude takes an empty exclude set from the snapshot's pool;
+// return it with sn.excludes.Put once the query no longer holds it.
+// The pool lives on the snapshot because the scratch is sized to the
+// catalog, which a reload may change.
+func (sn *snapshot) acquireExclude() *excludeSet {
+	if e, ok := sn.excludes.Get().(*excludeSet); ok {
 		e.epoch++
 		if e.epoch == 0 { // stamp wraparound: reset once per 2^32 uses
 			clear(e.stamp)
@@ -364,7 +450,7 @@ func (s *Server) acquireExclude() *excludeSet {
 		}
 		return e
 	}
-	return &excludeSet{stamp: make([]uint32, len(s.bundle.Items)), epoch: 1}
+	return &excludeSet{stamp: make([]uint32, len(sn.bundle.Items)), epoch: 1}
 }
 
 // weightModel ranks a bare weight vector through the topk machinery.
@@ -380,6 +466,13 @@ type errorResponse struct {
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// shedLoad rejects an over-capacity request with 429 and a Retry-After
+// hint, the tail-at-scale alternative to queueing unboundedly.
+func shedLoad(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, msg)
 }
 
 func writeJSON(w http.ResponseWriter, code int, payload interface{}) {

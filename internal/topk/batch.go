@@ -1,6 +1,11 @@
 package topk
 
-import "tcam/internal/model"
+import (
+	"context"
+
+	"tcam/internal/faultinject"
+	"tcam/internal/model"
+)
 
 // BatchQuery is one temporal top-k query of a batch: recommend K items
 // for user U at interval T, filtered by the optional Exclude.
@@ -11,10 +16,14 @@ type BatchQuery struct {
 }
 
 // BatchResult pairs one batch query's ranked items with its work stats.
-// Results is caller-owned.
+// Results is caller-owned. Done reports whether the query actually ran:
+// QueryBatchContext leaves entries it abandoned on cancellation with
+// Done == false (a zero result is otherwise indistinguishable from a
+// legitimate empty ranking, e.g. K == 0).
 type BatchResult struct {
 	Results []Result
 	Stats   Stats
+	Done    bool
 }
 
 // QueryBatch answers a slice of queries concurrently, fanning contiguous
@@ -25,14 +34,28 @@ type BatchResult struct {
 // bit-identical to BruteForce; ts must be the scorer the index was
 // built from.
 func (ix *Index) QueryBatch(ts model.TopicScorer, queries []BatchQuery, workers int) []BatchResult {
+	return ix.QueryBatchContext(context.Background(), ts, queries, workers)
+}
+
+// QueryBatchContext is QueryBatch with cooperative cancellation: each
+// worker checks ctx between queries and stops TA work as soon as the
+// context is done, leaving the remaining entries of its chunk with
+// Done == false. Completed entries are always fully correct — a query
+// is never half-answered. The serving layer uses this to honor request
+// deadlines mid-batch and return the completed prefix.
+func (ix *Index) QueryBatchContext(ctx context.Context, ts model.TopicScorer, queries []BatchQuery, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	model.ParallelRanges(len(queries), model.Workers(workers), func(_, lo, hi int) {
 		s := ix.AcquireSearcher()
 		defer s.Release()
 		for i := lo; i < hi; i++ {
+			faultinject.Fire("topk.batch.query")
+			if ctx.Err() != nil {
+				return
+			}
 			q := queries[i]
 			res, st := s.Query(ts, q.U, q.T, q.K, q.Exclude)
-			out[i] = BatchResult{Results: cloneResults(res), Stats: st}
+			out[i] = BatchResult{Results: cloneResults(res), Stats: st, Done: true}
 		}
 	})
 	return out

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo hygiene gate: formatting, vet, the tcamvet static-analysis suite,
 # and race-enabled tests on the concurrency-sensitive packages (the
-# pooled TA searcher and the HTTP serving layer), then the full suite,
-# a tcamcheck assertion build of the models, and an allocation gate on
-# the pooled-searcher benchmarks.
+# pooled TA searcher, the HTTP serving lifecycle — drain/reload/shed —
+# the retrying client and the fault-injection hooks), then the full
+# suite, a tcamcheck assertion build of the models, and an allocation
+# gate on the pooled-searcher benchmarks.
 #
 # Usage: scripts/check.sh [-short]
 #   -short   skip the slow gates; run only formatting, vet, tcamvet and
@@ -25,8 +26,11 @@ go vet ./...
 # fail the gate.
 go run ./cmd/tcamvet ./...
 
-# The packages where scratch reuse and pooling could race.
-go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/
+# The packages where scratch reuse, pooling, snapshot swaps, limiter
+# counters or fault hooks could race, plus the signal-driven lifecycle.
+go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/ \
+    ./internal/faultinject/ ./internal/client/ ./internal/atomicfile/ \
+    ./cmd/tcamserver/
 
 if [ "${1:-}" != "-short" ]; then
     go test ./...
