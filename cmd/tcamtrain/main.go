@@ -6,69 +6,159 @@
 //
 //	tcamtrain -in digg.jsonl -out digg.tcam [-variant ttcam|itcam]
 //	          [-interval 3] [-k1 60] [-k2 40] [-iters 50] [-weighted]
-//	          [-background 0] [-seed 1]
+//	          [-background 0] [-seed 1] [-tol 0] [-progress]
+//	          [-checkpoint dir] [-checkpoint-every 1] [-resume]
+//	          [-train-log out.jsonl]
+//
+// Long runs are resumable: -checkpoint snapshots the parameter state
+// every -checkpoint-every iterations, and rerunning with -resume
+// continues from the latest snapshot to the exact parameters an
+// uninterrupted run would have produced. -train-log streams one JSON
+// record per EM iteration (log-likelihood, delta, E/M-step wall-time
+// split); -progress prints the same to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"tcam"
+	"tcam/internal/model"
 )
 
 func main() {
-	var (
-		in         = flag.String("in", "", "input JSONL interaction log (required)")
-		out        = flag.String("out", "", "output bundle path (required)")
-		variant    = flag.String("variant", "ttcam", "TCAM variant: ttcam | itcam")
-		interval   = flag.Int64("interval", 1, "time-interval length in dataset ticks (e.g. days)")
-		k1         = flag.Int("k1", 60, "number of user-oriented topics")
-		k2         = flag.Int("k2", 40, "number of time-oriented topics (ttcam)")
-		iters      = flag.Int("iters", 50, "max EM iterations")
-		weighted   = flag.Bool("weighted", true, "apply the Section 3.3 item-weighting scheme (W- variants)")
-		background = flag.Float64("background", 0, "background-topic weight (ttcam extension; 0 = off)")
-		seed       = flag.Int64("seed", 1, "training seed")
-		workers    = flag.Int("workers", 0, "EM parallelism (0 = all CPUs)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.in, "in", "", "input JSONL interaction log (required)")
+	flag.StringVar(&cfg.out, "out", "", "output bundle path (required)")
+	flag.StringVar(&cfg.variant, "variant", "ttcam", "TCAM variant: ttcam | itcam")
+	flag.Int64Var(&cfg.interval, "interval", 1, "time-interval length in dataset ticks (e.g. days)")
+	flag.IntVar(&cfg.k1, "k1", 60, "number of user-oriented topics")
+	flag.IntVar(&cfg.k2, "k2", 40, "number of time-oriented topics (ttcam)")
+	flag.IntVar(&cfg.iters, "iters", 50, "max EM iterations")
+	flag.BoolVar(&cfg.weighted, "weighted", true, "apply the Section 3.3 item-weighting scheme (W- variants)")
+	flag.Float64Var(&cfg.background, "background", 0, "background-topic weight (ttcam extension; 0 = off)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "training seed")
+	flag.IntVar(&cfg.workers, "workers", 0, "EM parallelism (0 = all CPUs; never affects the result)")
+	flag.Float64Var(&cfg.tol, "tol", 0, "relative log-likelihood early-stop tolerance (0 = model default, negative = run every iteration)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint directory (empty = no checkpoints)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 1, "snapshot period in iterations")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume from the latest checkpoint in -checkpoint")
+	flag.StringVar(&cfg.trainLog, "train-log", "", "write one JSON record per EM iteration to this file")
+	flag.BoolVar(&cfg.progress, "progress", false, "print per-iteration training progress")
 	flag.Parse()
-	if err := run(*in, *out, *variant, *interval, *k1, *k2, *iters, *weighted, *background, *seed, *workers); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, variant string, interval int64, k1, k2, iters int, weighted bool, background float64, seed int64, workers int) error {
-	if in == "" || out == "" {
+// runConfig carries every flag so tests can drive run directly.
+type runConfig struct {
+	in, out         string
+	variant         string
+	interval        int64
+	k1, k2          int
+	iters           int
+	weighted        bool
+	background      float64
+	seed            int64
+	workers         int
+	tol             float64
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	trainLog        string
+	progress        bool
+}
+
+// iterRecord is the -train-log JSONL schema: one record per completed
+// EM iteration.
+type iterRecord struct {
+	Iter    int     `json:"iter"`
+	LL      float64 `json:"ll"`
+	Delta   float64 `json:"delta"`
+	EStepMS float64 `json:"estep_ms"`
+	MStepMS float64 `json:"mstep_ms"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+func run(cfg runConfig) error {
+	if cfg.in == "" || cfg.out == "" {
 		return fmt.Errorf("-in and -out are required")
 	}
-	log, err := tcam.LoadDataset(in)
+	if cfg.resume && cfg.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	log, err := tcam.LoadDataset(cfg.in)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded %s: %d users, %d items, %d events\n", in, log.NumUsers(), log.NumItems(), log.NumEvents())
+	fmt.Printf("loaded %s: %d users, %d items, %d events\n", cfg.in, log.NumUsers(), log.NumItems(), log.NumEvents())
+
+	var trainLog *os.File
+	var encodeErr error
+	var enc *json.Encoder
+	if cfg.trainLog != "" {
+		trainLog, err = os.Create(cfg.trainLog)
+		if err != nil {
+			return fmt.Errorf("create train log: %w", err)
+		}
+		enc = json.NewEncoder(trainLog)
+	}
+	hook := func(it model.IterStat) {
+		if enc != nil && encodeErr == nil {
+			encodeErr = enc.Encode(iterRecord{
+				Iter:    it.Iter,
+				LL:      it.LogLikelihood,
+				Delta:   it.Delta,
+				EStepMS: float64(it.EStep) / float64(time.Millisecond),
+				MStepMS: float64(it.MStep) / float64(time.Millisecond),
+				WallMS:  float64(it.Wall) / float64(time.Millisecond),
+			})
+		}
+		if cfg.progress {
+			fmt.Printf("iter %3d  ll %.6f  delta %.3e  estep %v  mstep %v\n",
+				it.Iter, it.LogLikelihood, it.Delta,
+				it.EStep.Round(time.Microsecond), it.MStep.Round(time.Microsecond))
+		}
+	}
 
 	opts := tcam.Options{
-		Variant:        tcam.Variant(variant),
-		IntervalLength: interval,
-		K1:             k1,
-		K2:             k2,
-		Weighted:       weighted,
-		Background:     background,
-		MaxIters:       iters,
-		Seed:           seed,
-		Workers:        workers,
+		Variant:         tcam.Variant(cfg.variant),
+		IntervalLength:  cfg.interval,
+		K1:              cfg.k1,
+		K2:              cfg.k2,
+		Weighted:        cfg.weighted,
+		Background:      cfg.background,
+		MaxIters:        cfg.iters,
+		Seed:            cfg.seed,
+		Workers:         cfg.workers,
+		Tol:             cfg.tol,
+		CheckpointDir:   cfg.checkpoint,
+		CheckpointEvery: cfg.checkpointEvery,
+		Resume:          cfg.resume,
+		Progress:        hook,
 	}
 	start := time.Now()
 	rec, err := tcam.Train(log, opts)
+	if trainLog != nil {
+		if closeErr := trainLog.Close(); closeErr != nil && err == nil {
+			err = fmt.Errorf("close train log: %w", closeErr)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained %s (K1=%d K2=%d weighted=%v) in %v\n", variant, k1, k2, weighted, time.Since(start).Round(time.Millisecond))
-	if err := rec.Save(out); err != nil {
+	if encodeErr != nil {
+		return fmt.Errorf("write train log: %w", encodeErr)
+	}
+	fmt.Printf("trained %s (K1=%d K2=%d weighted=%v) in %v\n", cfg.variant, cfg.k1, cfg.k2, cfg.weighted, time.Since(start).Round(time.Millisecond))
+	if err := rec.Save(cfg.out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote bundle %s (%d expanded topics, grid %d intervals)\n", out, rec.NumTopics(), rec.Grid().Num)
+	fmt.Printf("wrote bundle %s (%d expanded topics, grid %d intervals)\n", cfg.out, rec.NumTopics(), rec.Grid().Num)
 	return nil
 }

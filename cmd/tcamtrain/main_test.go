@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -29,10 +33,26 @@ func writeTestLog(t *testing.T) string {
 	return path
 }
 
+// baseConfig is the shared test configuration; tests override fields.
+func baseConfig(in, out string) runConfig {
+	return runConfig{
+		in:       in,
+		out:      out,
+		variant:  "ttcam",
+		interval: 1,
+		k1:       4,
+		k2:       3,
+		iters:    10,
+		weighted: true,
+		seed:     1,
+		workers:  2,
+	}
+}
+
 func TestTrainRoundtrip(t *testing.T) {
 	in := writeTestLog(t)
 	out := filepath.Join(t.TempDir(), "model.tcam")
-	if err := run(in, out, "ttcam", 1, 4, 3, 10, true, 0, 1, 2); err != nil {
+	if err := run(baseConfig(in, out)); err != nil {
 		t.Fatal(err)
 	}
 	rec, err := tcam.LoadRecommender(out)
@@ -51,7 +71,13 @@ func TestTrainRoundtrip(t *testing.T) {
 func TestTrainITCAMVariant(t *testing.T) {
 	in := writeTestLog(t)
 	out := filepath.Join(t.TempDir(), "model.tcam")
-	if err := run(in, out, "itcam", 2, 4, 0, 10, false, 0, 1, 1); err != nil {
+	cfg := baseConfig(in, out)
+	cfg.variant = "itcam"
+	cfg.interval = 2
+	cfg.k2 = 0
+	cfg.weighted = false
+	cfg.workers = 1
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tcam.LoadRecommender(out); err != nil {
@@ -60,17 +86,152 @@ func TestTrainITCAMVariant(t *testing.T) {
 }
 
 func TestTrainErrors(t *testing.T) {
-	if err := run("", "out", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
-		t.Error("run accepted empty input")
-	}
-	if err := run("in", "", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
-		t.Error("run accepted empty output")
-	}
-	if err := run(filepath.Join(t.TempDir(), "missing.jsonl"), "out", "ttcam", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
-		t.Error("run accepted missing input file")
-	}
 	in := writeTestLog(t)
-	if err := run(in, filepath.Join(t.TempDir(), "x"), "bogus", 1, 4, 3, 10, true, 0, 1, 1); err == nil {
-		t.Error("run accepted unknown variant")
+	for _, tc := range []struct {
+		name string
+		mut  func(*runConfig)
+	}{
+		{"empty input", func(c *runConfig) { c.in = "" }},
+		{"empty output", func(c *runConfig) { c.out = "" }},
+		{"missing input file", func(c *runConfig) { c.in = filepath.Join(t.TempDir(), "missing.jsonl") }},
+		{"unknown variant", func(c *runConfig) { c.variant = "bogus" }},
+		{"resume without checkpoint dir", func(c *runConfig) { c.resume = true }},
+	} {
+		cfg := baseConfig(in, filepath.Join(t.TempDir(), "x"))
+		cfg.workers = 1
+		tc.mut(&cfg)
+		if err := run(cfg); err == nil {
+			t.Errorf("run accepted %s", tc.name)
+		}
+	}
+}
+
+// sameRecommender probes both bundles across every user and a spread of
+// query times and requires bit-identical scores and identical rankings.
+func sameRecommender(t *testing.T, label string, a, b *tcam.Recommender) {
+	t.Helper()
+	for u := 0; u < 10; u++ {
+		user := fmt.Sprintf("u%02d", u)
+		la, err := a.Lambda(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Lambda(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(la) != math.Float64bits(lb) {
+			t.Fatalf("%s: lambda(%s) differs: %v vs %v", label, user, la, lb)
+		}
+		for _, when := range []int64{0, 3, 7} {
+			ra, err := a.Recommend(user, when, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := b.Recommend(user, when, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ra) != len(rb) {
+				t.Fatalf("%s: %s@%d: %d vs %d recommendations", label, user, when, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i].ItemID != rb[i].ItemID ||
+					math.Float64bits(ra[i].Score) != math.Float64bits(rb[i].Score) {
+					t.Fatalf("%s: %s@%d rank %d differs: %+v vs %+v", label, user, when, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeEndToEnd exercises the ISSUE acceptance path
+// through the CLI layer: train with -checkpoint for a truncated run,
+// rerun with -resume, and require the resumed bundle to match an
+// uninterrupted run's bundle bit-for-bit.
+func TestCheckpointResumeEndToEnd(t *testing.T) {
+	in := writeTestLog(t)
+	dir := t.TempDir()
+
+	refOut := filepath.Join(dir, "ref.tcam")
+	ref := baseConfig(in, refOut)
+	ref.iters = 12
+	ref.tol = -1 // disable early stop so both runs burn all 12 iterations
+	if err := run(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	ckptDir := filepath.Join(dir, "ckpt")
+	phase1 := baseConfig(in, filepath.Join(dir, "phase1.tcam"))
+	phase1.iters = 6
+	phase1.tol = -1
+	phase1.checkpoint = ckptDir
+	if err := run(phase1); err != nil {
+		t.Fatal(err)
+	}
+
+	resumedOut := filepath.Join(dir, "resumed.tcam")
+	phase2 := phase1
+	phase2.out = resumedOut
+	phase2.iters = 12
+	phase2.resume = true
+	if err := run(phase2); err != nil {
+		t.Fatal(err)
+	}
+
+	refRec, err := tcam.LoadRecommender(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRec, err := tcam.LoadRecommender(resumedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecommender(t, "resume vs uninterrupted", refRec, gotRec)
+}
+
+// TestTrainLogJSONL checks -train-log writes exactly one valid record
+// per EM iteration with monotonically increasing iteration numbers.
+func TestTrainLogJSONL(t *testing.T) {
+	in := writeTestLog(t)
+	dir := t.TempDir()
+	cfg := baseConfig(in, filepath.Join(dir, "model.tcam"))
+	cfg.iters = 7
+	cfg.tol = -1
+	cfg.trainLog = filepath.Join(dir, "train.jsonl")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(cfg.trainLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var records []iterRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec iterRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", len(records)+1, err)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != cfg.iters {
+		t.Fatalf("got %d train-log records, want %d", len(records), cfg.iters)
+	}
+	for i, rec := range records {
+		if rec.Iter != i+1 {
+			t.Errorf("record %d has iter %d", i, rec.Iter)
+		}
+		if math.IsNaN(rec.LL) || rec.LL >= 0 {
+			t.Errorf("record %d has implausible log-likelihood %v", i, rec.LL)
+		}
+		if rec.WallMS < 0 {
+			t.Errorf("record %d has negative wall time", i)
+		}
 	}
 }

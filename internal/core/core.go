@@ -19,6 +19,7 @@ import (
 	"tcam/internal/model/tt"
 	"tcam/internal/model/ttcam"
 	"tcam/internal/model/ut"
+	"tcam/internal/train"
 	"tcam/internal/weighting"
 )
 
@@ -90,6 +91,45 @@ type Options struct {
 	Background float64
 	Seed       int64
 	Workers    int
+	// Tol overrides the relative log-likelihood early-stop tolerance of
+	// the EM methods (UT, TT and the TCAM family): 0 keeps each model's
+	// default, a negative value disables the early stop so every
+	// iteration runs.
+	Tol float64
+	// Shards fixes the EM summation grouping for the TCAM family (0 =
+	// engine default). Runs with equal Shards are bit-identical
+	// regardless of Workers.
+	Shards int
+	// MaxWall bounds TCAM-family training wall-clock time (0 = none).
+	MaxWall time.Duration
+	// CheckpointDir enables TCAM-family training checkpoints in the
+	// directory, snapshotting every CheckpointEvery iterations
+	// (CheckpointEvery <= 0 means every iteration); Resume restores the
+	// latest snapshot before training. Methods outside the TCAM family
+	// reject these options.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// Hook, when non-nil, observes every TCAM-family EM iteration.
+	Hook func(model.IterStat)
+}
+
+// tolOf resolves the Options.Tol override against a model default.
+func tolOf(opts Options, def float64) float64 {
+	switch {
+	case opts.Tol > 0:
+		return opts.Tol
+	case opts.Tol < 0:
+		return 0
+	default:
+		return def
+	}
+}
+
+// checkpointOf translates the flat checkpoint options into the engine
+// config.
+func checkpointOf(opts Options) train.CheckpointConfig {
+	return train.CheckpointConfig{Dir: opts.CheckpointDir, Every: opts.CheckpointEvery, Resume: opts.Resume}
 }
 
 // Result bundles a trained model with its statistics and wall-clock
@@ -116,9 +156,13 @@ func (r Result) TopicScorer() model.TopicScorer {
 // raw cuboid.
 func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 	res := Result{Method: method}
-	train := data
+	if (opts.CheckpointDir != "" || opts.Resume) && method != ITCAM && method != WITCAM &&
+		method != TTCAM && method != WTTCAM {
+		return res, fmt.Errorf("core: method %s does not support checkpointing", method)
+	}
+	tdata := data
 	if method.Weighted() {
-		train = weighting.WeightCuboid(data)
+		tdata = weighting.WeightCuboid(data)
 	}
 	start := time.Now()
 	var err error
@@ -131,8 +175,9 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 		if opts.MaxIters > 0 {
 			cfg.MaxIters = opts.MaxIters
 		}
+		cfg.Tol = tolOf(opts, cfg.Tol)
 		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
-		res.Model, res.Stats, err = ut.Train(train, cfg)
+		res.Model, res.Stats, err = ut.Train(tdata, cfg)
 	case TT:
 		cfg := tt.DefaultConfig()
 		if opts.K2 > 0 {
@@ -141,8 +186,9 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 		if opts.MaxIters > 0 {
 			cfg.MaxIters = opts.MaxIters
 		}
+		cfg.Tol = tolOf(opts, cfg.Tol)
 		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
-		res.Model, res.Stats, err = tt.Train(train, cfg)
+		res.Model, res.Stats, err = tt.Train(tdata, cfg)
 	case ITCAM, WITCAM:
 		cfg := itcam.DefaultConfig()
 		if opts.K1 > 0 {
@@ -151,9 +197,12 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 		if opts.MaxIters > 0 {
 			cfg.MaxIters = opts.MaxIters
 		}
+		cfg.Tol = tolOf(opts, cfg.Tol)
+		cfg.MaxWall, cfg.Shards = opts.MaxWall, opts.Shards
+		cfg.Checkpoint, cfg.Hook = checkpointOf(opts), opts.Hook
 		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
 		cfg.Label = string(method)
-		res.Model, res.Stats, err = itcam.Train(train, cfg)
+		res.Model, res.Stats, err = itcam.Train(tdata, cfg)
 	case TTCAM, WTTCAM:
 		cfg := ttcam.DefaultConfig()
 		if opts.K1 > 0 {
@@ -165,10 +214,13 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 		if opts.MaxIters > 0 {
 			cfg.MaxIters = opts.MaxIters
 		}
+		cfg.Tol = tolOf(opts, cfg.Tol)
+		cfg.MaxWall, cfg.Shards = opts.MaxWall, opts.Shards
+		cfg.Checkpoint, cfg.Hook = checkpointOf(opts), opts.Hook
 		cfg.Background = opts.Background
 		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
 		cfg.Label = string(method)
-		res.Model, res.Stats, err = ttcam.Train(train, cfg)
+		res.Model, res.Stats, err = ttcam.Train(tdata, cfg)
 	case BPRMF:
 		cfg := bprmf.DefaultConfig()
 		if opts.Factors > 0 {
@@ -178,7 +230,7 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 			cfg.Epochs = opts.Epochs
 		}
 		cfg.Seed = seedOf(opts)
-		res.Model, res.Stats, err = bprmf.Train(train, cfg)
+		res.Model, res.Stats, err = bprmf.Train(tdata, cfg)
 	case TimeSVD:
 		cfg := timesvd.DefaultConfig()
 		if opts.Factors > 0 {
@@ -188,7 +240,7 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 			cfg.Epochs = opts.Epochs
 		}
 		cfg.Seed = seedOf(opts)
-		res.Model, res.Stats, err = timesvd.Train(train, cfg)
+		res.Model, res.Stats, err = timesvd.Train(tdata, cfg)
 	case BPTF:
 		cfg := bptf.DefaultConfig()
 		if opts.Factors > 0 {
@@ -201,7 +253,7 @@ func Train(method Method, data *cuboid.Cuboid, opts Options) (Result, error) {
 			cfg.Samples = opts.Samples
 		}
 		cfg.Seed, cfg.Workers = seedOf(opts), opts.Workers
-		res.Model, res.Stats, err = bptf.Train(train, cfg)
+		res.Model, res.Stats, err = bptf.Train(tdata, cfg)
 	default:
 		return res, fmt.Errorf("core: unknown method %q", method)
 	}

@@ -12,21 +12,27 @@
 // plus the broadcast Params, communicate nothing but SufficientStats,
 // and could be moved across machine boundaries behind an encoder
 // without touching the math.
+//
+// The coordinator itself is the internal/train engine: distem's shards
+// are the engine's shards, its reducer is the engine's ordered
+// accumulator merge, and the clamp bound comes from the same package
+// the in-process trainers use — none of that arithmetic is declared
+// here, so it can never drift from the single-process path.
 package distem
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
-	"sync"
+	"time"
 
 	"tcam/internal/cuboid"
 	"tcam/internal/model"
+	"tcam/internal/train"
 )
-
-// lambdaClamp matches the in-process trainer's bound.
-const lambdaClamp = 0.01
 
 // Config parameterizes a distributed TTCAM training job. It mirrors
 // ttcam.Config; Shards is the number of mappers.
@@ -36,6 +42,20 @@ type Config struct {
 	Seed      int64
 	Smoothing float64
 	Shards    int
+	// Tol is the engine's relative log-likelihood early stop. The zero
+	// default keeps the job's historical fixed-round semantics: every
+	// round runs.
+	Tol float64
+	// MaxWall optionally bounds the job's wall-clock time (0 = no budget).
+	MaxWall time.Duration
+	// Workers caps concurrent mappers; non-positive means GOMAXPROCS.
+	// Parameters never depend on it — only Shards fixes the arithmetic.
+	Workers int
+	// Checkpoint configures coordinator-side parameter snapshots and
+	// resume; the zero value disables them.
+	Checkpoint train.CheckpointConfig
+	// Hook, when non-nil, observes every completed round.
+	Hook func(model.IterStat)
 }
 
 // DefaultConfig returns a 4-shard job with the usual EM settings.
@@ -121,6 +141,13 @@ func Partition(c *cuboid.Cuboid, shards int) []Shard {
 // (15)–(16)).
 func MapShard(sh Shard, p *Params) *SufficientStats {
 	out := newStats(p)
+	mapShardInto(sh, p, out)
+	return out
+}
+
+// mapShardInto accumulates one shard's E-step statistics into out,
+// which the caller has zeroed.
+func mapShardInto(sh Shard, p *Params, out *SufficientStats) {
 	k1, k2, V := p.K1, p.K2, p.NumItems
 	pz := make([]float64, k1)
 	px := make([]float64, k2)
@@ -167,32 +194,31 @@ func MapShard(sh Shard, p *Params) *SufficientStats {
 		out.LamNum[u] += w * ps1
 		out.LamDen[u] += w
 	}
-	return out
 }
 
 // Reduce merges partial statistics in shard order (deterministic
 // summation order, so runs are reproducible for a fixed shard count).
+// The element-wise arithmetic is the engine's MergeInto — the same
+// primitive the in-process trainers merge with.
 func Reduce(parts []*SufficientStats) (*SufficientStats, error) {
 	if len(parts) == 0 {
 		return nil, errors.New("distem: nothing to reduce")
 	}
 	out := parts[0]
 	for _, p := range parts[1:] {
-		addInto(out.Theta, p.Theta)
-		addInto(out.Phi, p.Phi)
-		addInto(out.ThetaTx, p.ThetaTx)
-		addInto(out.PhiX, p.PhiX)
-		addInto(out.LamNum, p.LamNum)
-		addInto(out.LamDen, p.LamDen)
-		out.LogL += p.LogL
+		mergeStats(out, p)
 	}
 	return out, nil
 }
 
-func addInto(dst, src []float64) {
-	for i, x := range src {
-		dst[i] += x
-	}
+func mergeStats(dst, src *SufficientStats) {
+	train.MergeInto(dst.Theta, src.Theta)
+	train.MergeInto(dst.Phi, src.Phi)
+	train.MergeInto(dst.ThetaTx, src.ThetaTx)
+	train.MergeInto(dst.PhiX, src.PhiX)
+	train.MergeInto(dst.LamNum, src.LamNum)
+	train.MergeInto(dst.LamDen, src.LamDen)
+	dst.LogL += src.LogL
 }
 
 // MStep turns reduced statistics into the next round's parameters —
@@ -208,14 +234,7 @@ func MStep(p *Params, s *SufficientStats, smoothing float64) {
 	model.NormalizeRows(p.PhiX, p.NumItems, smoothing)
 	for u := range p.Lambda {
 		if s.LamDen[u] > 0 {
-			l := s.LamNum[u] / s.LamDen[u]
-			if l < lambdaClamp {
-				l = lambdaClamp
-			}
-			if l > 1-lambdaClamp {
-				l = 1 - lambdaClamp
-			}
-			p.Lambda[u] = l
+			p.Lambda[u] = train.ClampLambda(s.LamNum[u] / s.LamDen[u])
 		}
 	}
 }
@@ -253,10 +272,118 @@ func InitParams(c *cuboid.Cuboid, cfg Config) *Params {
 	return p
 }
 
-// Train runs the full MapReduce EM job: Partition once, then
-// MaxIters rounds of broadcast → map (mappers run concurrently) →
-// reduce → M-step. It returns the final parameters and the per-round
-// log-likelihood trace.
+// job adapts the MapReduce round structure to the train engine: each
+// engine shard is one mapper, EStep is the map phase, the engine's
+// ordered accumulator merge is the reduce phase, and MStep is the
+// coordinator update.
+type job struct {
+	p      *Params
+	cfg    Config
+	shards []Shard
+}
+
+// jobAccum is one mapper's output slot, reused across rounds.
+type jobAccum struct {
+	j     *job
+	shard int
+	stats *SufficientStats
+}
+
+func (j *job) NumUsers() int { return j.p.NumUsers }
+
+func (j *job) NewAccum(shard, lo, hi int) train.Accum {
+	sh := j.shards[shard]
+	if sh.UserLo != lo || sh.UserHi != hi {
+		panic("distem: engine shard ranges diverge from Partition")
+	}
+	return &jobAccum{j: j, shard: shard, stats: newStats(j.p)}
+}
+
+func (a *jobAccum) Reset() {
+	train.Zero(a.stats.Theta)
+	train.Zero(a.stats.Phi)
+	train.Zero(a.stats.ThetaTx)
+	train.Zero(a.stats.PhiX)
+	train.Zero(a.stats.LamNum)
+	train.Zero(a.stats.LamDen)
+	a.stats.LogL = 0
+}
+
+func (a *jobAccum) Merge(src train.Accum) {
+	mergeStats(a.stats, src.(*jobAccum).stats)
+}
+
+func (j *job) EStep(acc train.Accum) {
+	a := acc.(*jobAccum)
+	mapShardInto(j.shards[a.shard], j.p, a.stats)
+}
+
+func (j *job) MStep(merged train.Accum) float64 {
+	a := merged.(*jobAccum)
+	MStep(j.p, a.stats, j.cfg.Smoothing)
+	return a.stats.LogL
+}
+
+// EncodeParams snapshots the broadcast parameter set for the engine's
+// checkpoints.
+func (j *job) EncodeParams(w io.Writer) error { return j.p.Encode(w) }
+
+// DecodeParams restores a checkpoint into the broadcast state, rejecting
+// dimension mismatches against the job config.
+func (j *job) DecodeParams(r io.Reader) error {
+	loaded, err := DecodeParams(r)
+	if err != nil {
+		return err
+	}
+	p := j.p
+	if loaded.NumUsers != p.NumUsers || loaded.NumIntervals != p.NumIntervals ||
+		loaded.NumItems != p.NumItems || loaded.K1 != p.K1 || loaded.K2 != p.K2 {
+		return fmt.Errorf("distem: checkpoint dimensions %d/%d/%d/K1=%d/K2=%d do not match job config %d/%d/%d/K1=%d/K2=%d",
+			loaded.NumUsers, loaded.NumIntervals, loaded.NumItems, loaded.K1, loaded.K2,
+			p.NumUsers, p.NumIntervals, p.NumItems, p.K1, p.K2)
+	}
+	p.Theta, p.Phi, p.ThetaTx, p.PhiX, p.Lambda = loaded.Theta, loaded.Phi, loaded.ThetaTx, loaded.PhiX, loaded.Lambda
+	return nil
+}
+
+var (
+	_ train.Trainable      = (*job)(nil)
+	_ train.Checkpointable = (*job)(nil)
+)
+
+// Encode writes the broadcast parameter set to w in gob format — the
+// coordinator's checkpoint payload, and what a real deployment would
+// ship to mappers.
+func (p *Params) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("distem: encode params: %w", err)
+	}
+	return nil
+}
+
+// DecodeParams reads a parameter set written with Encode, validating
+// dimensions.
+func DecodeParams(r io.Reader) (*Params, error) {
+	var p Params
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("distem: decode params: %w", err)
+	}
+	if p.NumUsers <= 0 || p.NumIntervals <= 0 || p.NumItems <= 0 || p.K1 <= 0 || p.K2 <= 0 {
+		return nil, fmt.Errorf("distem: corrupt dimensions %d/%d/%d/K1=%d/K2=%d",
+			p.NumUsers, p.NumIntervals, p.NumItems, p.K1, p.K2)
+	}
+	if len(p.Theta) != p.NumUsers*p.K1 || len(p.Phi) != p.K1*p.NumItems ||
+		len(p.ThetaTx) != p.NumIntervals*p.K2 || len(p.PhiX) != p.K2*p.NumItems ||
+		len(p.Lambda) != p.NumUsers {
+		return nil, errors.New("distem: parameter lengths inconsistent with dimensions")
+	}
+	return &p, nil
+}
+
+// Train runs the full MapReduce EM job on the engine: Partition once,
+// then rounds of broadcast → map (mappers run concurrently) → ordered
+// reduce → M-step until the engine's convergence policy stops. It
+// returns the final parameters and the per-round statistics.
 func Train(c *cuboid.Cuboid, cfg Config) (*Params, model.TrainStats, error) {
 	var stats model.TrainStats
 	if cfg.K1 <= 0 || cfg.K2 <= 0 || cfg.MaxIters <= 0 {
@@ -265,25 +392,23 @@ func Train(c *cuboid.Cuboid, cfg Config) (*Params, model.TrainStats, error) {
 	if c.NNZ() == 0 {
 		return nil, stats, errors.New("distem: empty training cuboid")
 	}
-	shards := Partition(c, cfg.Shards)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	p := InitParams(c, cfg)
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		parts := make([]*SufficientStats, len(shards))
-		var wg sync.WaitGroup
-		for i := range shards {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				parts[i] = MapShard(shards[i], p)
-			}(i)
-		}
-		wg.Wait()
-		merged, err := Reduce(parts)
-		if err != nil {
-			return nil, stats, err
-		}
-		MStep(p, merged, cfg.Smoothing)
-		stats.LogLikelihood = append(stats.LogLikelihood, merged.LogL)
+	j := &job{p: p, cfg: cfg, shards: Partition(c, shards)}
+	stats, err := train.Run(j, train.Config{
+		MaxIters:   cfg.MaxIters,
+		Tol:        cfg.Tol,
+		MaxWall:    cfg.MaxWall,
+		Shards:     shards,
+		Workers:    cfg.Workers,
+		Checkpoint: cfg.Checkpoint,
+		Hook:       cfg.Hook,
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 	return p, stats, nil
 }

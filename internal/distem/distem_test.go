@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"tcam/internal/cuboid"
+	"tcam/internal/faultinject"
 	"tcam/internal/model/ttcam"
+	"tcam/internal/train"
 )
 
 func world(tb testing.TB) *cuboid.Cuboid {
@@ -157,5 +159,74 @@ func TestTrainValidation(t *testing.T) {
 func TestReduceEmpty(t *testing.T) {
 	if _, err := Reduce(nil); err == nil {
 		t.Error("Reduce accepted empty input")
+	}
+}
+
+// TestCheckpointResumeBitIdentical proves the coordinator inherits the
+// engine's crash-recovery guarantee: kill the job right after a
+// snapshot, resume, and land on the exact parameters of an
+// uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	defer faultinject.Reset()
+	c := world(t)
+	base := DefaultConfig()
+	base.K1, base.K2, base.MaxIters, base.Shards = 5, 3, 10, 3
+
+	ref, refStats, err := Train(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := base
+	cfg.Checkpoint = train.CheckpointConfig{Dir: dir, Every: 1}
+	var saves int
+	faultinject.Set("train.checkpoint.saved", func() {
+		saves++
+		if saves == 4 {
+			panic("distem test: injected crash after checkpoint")
+		}
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		_, _, _ = Train(c, cfg)
+	}()
+	faultinject.Clear("train.checkpoint.saved")
+
+	cfg.Checkpoint.Resume = true
+	got, gotStats, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats.ResumedAt != 4 {
+		t.Fatalf("ResumedAt = %d, want 4", gotStats.ResumedAt)
+	}
+	for label, pair := range map[string][2][]float64{
+		"theta":   {got.Theta, ref.Theta},
+		"phi":     {got.Phi, ref.Phi},
+		"thetaTx": {got.ThetaTx, ref.ThetaTx},
+		"phiX":    {got.PhiX, ref.PhiX},
+		"lambda":  {got.Lambda, ref.Lambda},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: length mismatch", label)
+		}
+		for i := range pair[0] {
+			if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+				t.Fatalf("%s[%d]: resumed run differs from uninterrupted run", label, i)
+			}
+		}
+	}
+	if len(gotStats.LogLikelihood) != len(refStats.LogLikelihood) {
+		t.Fatalf("LL trace lengths differ: %d vs %d", len(gotStats.LogLikelihood), len(refStats.LogLikelihood))
+	}
+	for i := range gotStats.LogLikelihood {
+		if math.Float64bits(gotStats.LogLikelihood[i]) != math.Float64bits(refStats.LogLikelihood[i]) {
+			t.Fatalf("LL[%d] differs after resume", i)
+		}
 	}
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"tcam/internal/core"
+	"tcam/internal/datagen"
+	"tcam/internal/model"
+)
+
+// ConvergenceResult records the EM training trajectory the unified
+// engine exposes through its iteration hook: per-iteration
+// log-likelihood, relative delta, and the E-step/M-step wall-time
+// split, for each TCAM variant. The paper reports only final training
+// times (Table 4); this view shows how the bound of Equation (12)
+// tightens on the way there.
+type ConvergenceResult struct {
+	Dataset string
+	Methods []MethodTrajectory
+}
+
+// MethodTrajectory is one method's observed training run.
+type MethodTrajectory struct {
+	Method core.Method
+	Iters  []model.IterStat
+	Stats  model.TrainStats
+}
+
+// Convergence trains ITCAM and TTCAM on the Digg-profile world with the
+// engine's iteration hook attached and returns both trajectories.
+func (r *Runner) Convergence() (*ConvergenceResult, error) {
+	data, _ := r.gridWorld(datagen.Digg)
+	out := &ConvergenceResult{Dataset: datagen.Digg.String()}
+	for _, m := range []core.Method{core.ITCAM, core.TTCAM} {
+		var iters []model.IterStat
+		opts := r.trainOpts()
+		opts.Hook = func(it model.IterStat) { iters = append(iters, it) }
+		res, err := core.Train(m, data, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: convergence %s: %w", m, err)
+		}
+		out.Methods = append(out.Methods, MethodTrajectory{Method: m, Iters: iters, Stats: res.Stats})
+	}
+	return out, nil
+}
+
+// Render prints one trajectory table per method.
+func (c *ConvergenceResult) Render(w io.Writer) {
+	fprintf(w, "EM convergence trajectories on %s\n", c.Dataset)
+	for _, mt := range c.Methods {
+		fprintf(w, "\n%s (stop: %s after %d iterations)\n", mt.Method, mt.Stats.StopReason, mt.Stats.Iterations())
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fprintln(tw, "iter\tlog-likelihood\trel. delta\tE-step\tM-step")
+		for _, it := range mt.Iters {
+			fprintf(tw, "%d\t%.4f\t%.3e\t%v\t%v\n",
+				it.Iter, it.LogLikelihood, it.Delta,
+				it.EStep.Round(time.Microsecond), it.MStep.Round(time.Microsecond))
+		}
+		flush(tw)
+	}
+}

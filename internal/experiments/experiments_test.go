@@ -302,7 +302,7 @@ func TestFigure8AndTable4Efficiency(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 14 {
+	if len(All()) != 15 {
 		t.Fatalf("got %d experiments", len(All()))
 	}
 	if _, ok := Find("table3"); !ok {
@@ -310,6 +310,36 @@ func TestFindAndAll(t *testing.T) {
 	}
 	if _, ok := Find("bogus"); ok {
 		t.Error("Find found bogus")
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	r := NewRunner(tiny())
+	res, err := r.Convergence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 2 {
+		t.Fatalf("got %d methods, want ITCAM and TTCAM", len(res.Methods))
+	}
+	for _, mt := range res.Methods {
+		if len(mt.Iters) == 0 || len(mt.Iters) != mt.Stats.Iterations() {
+			t.Fatalf("%s: hook saw %d iterations, stats report %d", mt.Method, len(mt.Iters), mt.Stats.Iterations())
+		}
+		for i, it := range mt.Iters {
+			if it.Iter != i+1 {
+				t.Errorf("%s: record %d has iter %d", mt.Method, i, it.Iter)
+			}
+			if it.LogLikelihood != mt.Stats.LogLikelihood[i] {
+				t.Errorf("%s: iter %d hook LL diverges from stats trace", mt.Method, it.Iter)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "ITCAM") || !strings.Contains(out, "log-likelihood") {
+		t.Error("render missing trajectory table")
 	}
 }
 

@@ -128,6 +128,14 @@ func All() []Experiment {
 			res.Render(w)
 			return nil
 		}},
+		{"convergence", "EM convergence trajectories (engine iteration hook)", func(r *Runner, w io.Writer) error {
+			res, err := r.Convergence()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		}},
 	}
 }
 

@@ -1,0 +1,206 @@
+package itcam
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/faultinject"
+	"tcam/internal/train"
+)
+
+// engineWorld is the frozen dataset behind testdata/prerefactor_*: the
+// fixtures were generated from exactly this cuboid by the pre-refactor
+// trainer (per-worker sharding, Workers=2), so these tests prove the
+// engine-based trainer reproduces the old arithmetic bit-for-bit.
+func engineWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	b := cuboid.NewBuilder(30, 6, 25)
+	for u := 0; u < 30; u++ {
+		for t := 0; t < 6; t++ {
+			b.MustAdd(u, t, (u*3+t*7)%25, 1+float64((u+t)%4))
+			b.MustAdd(u, t, (u+t*t)%25, 1)
+			if (u+t)%3 == 0 {
+				b.MustAdd(u, t, (u*5+t)%25, 2)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// engineConfig mirrors the fixture generator's config, with the legacy
+// Workers=2 sharding expressed as Shards=2 under the engine.
+func engineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.K1, cfg.MaxIters, cfg.Tol, cfg.Seed = 7, 9, 1e-6, 11
+	cfg.Shards = 2
+	return cfg
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameModel(t *testing.T, label string, got, want *Model) {
+	t.Helper()
+	if !bitsEqual(got.theta, want.theta) {
+		t.Errorf("%s: theta differs", label)
+	}
+	if !bitsEqual(got.phi, want.phi) {
+		t.Errorf("%s: phi differs", label)
+	}
+	if !bitsEqual(got.thetaT, want.thetaT) {
+		t.Errorf("%s: thetaT differs", label)
+	}
+	if !bitsEqual(got.lambda, want.lambda) {
+		t.Errorf("%s: lambda differs", label)
+	}
+}
+
+// TestMatchesPreRefactorFixture pins the refactor's central guarantee:
+// the engine-based trainer with Shards=2 reproduces the pre-refactor
+// trainer's Workers=2 run — captured in testdata before the refactor —
+// bit-for-bit, parameters and log-likelihood trace alike, regardless of
+// how many goroutines execute the shards.
+func TestMatchesPreRefactorFixture(t *testing.T) {
+	f, err := os.Open("testdata/prerefactor_model.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.Open("testdata/prerefactor_ll.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	var wantLL []float64
+	if err := gob.NewDecoder(lf).Decode(&wantLL); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		cfg := engineConfig()
+		cfg.Workers = workers
+		got, stats, err := Train(engineWorld(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameModel(t, fmt.Sprintf("workers=%d", workers), got, want)
+		if !bitsEqual(stats.LogLikelihood, wantLL) {
+			t.Errorf("workers=%d: LL trace differs from pre-refactor fixture", workers)
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the property the engine's fixed-shard
+// design buys: parameters depend on Shards, never on Workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	data := engineWorld(t)
+	cfg := engineConfig()
+	cfg.Workers = 1
+	ref, refStats, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	got, gotStats, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameModel(t, "workers 1 vs 8", got, ref)
+	if !bitsEqual(gotStats.LogLikelihood, refStats.LogLikelihood) {
+		t.Error("workers 1 vs 8: LL traces differ")
+	}
+}
+
+// TestCheckpointResumeBitIdentical interrupts training at several
+// checkpoint boundaries — via an injected panic right after the
+// snapshot lands, the way a real crash would hit — and proves resuming
+// always converges to the exact parameters of the uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	defer faultinject.Reset()
+	data := engineWorld(t)
+	ref, refStats, err := Train(data, engineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, killAfter := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("kill-after-%d", killAfter), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := engineConfig()
+			cfg.Checkpoint = train.CheckpointConfig{Dir: dir, Every: 1}
+
+			var saves int
+			faultinject.Set("train.checkpoint.saved", func() {
+				saves++
+				if saves == killAfter {
+					panic("itcam test: injected crash after checkpoint")
+				}
+			})
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("injected crash did not fire")
+					}
+				}()
+				_, _, _ = Train(data, cfg)
+			}()
+			faultinject.Clear("train.checkpoint.saved")
+
+			cfg.Checkpoint.Resume = true
+			got, stats, err := Train(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ResumedAt != killAfter {
+				t.Fatalf("ResumedAt = %d, want %d", stats.ResumedAt, killAfter)
+			}
+			assertSameModel(t, "resumed", got, ref)
+			if !bitsEqual(stats.LogLikelihood, refStats.LogLikelihood) {
+				t.Error("resumed LL trace differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestCorruptCheckpointRejected: training must fail loudly rather than
+// resume from a damaged snapshot.
+func TestCorruptCheckpointRejected(t *testing.T) {
+	data := engineWorld(t)
+	dir := t.TempDir()
+	cfg := engineConfig()
+	cfg.MaxIters = 3
+	cfg.Checkpoint = train.CheckpointConfig{Dir: dir, Every: 1}
+	if _, _, err := Train(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/train.ckpt"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x55
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint.Resume = true
+	if _, _, err := Train(data, cfg); err == nil {
+		t.Fatal("corrupted checkpoint resumed silently")
+	}
+}

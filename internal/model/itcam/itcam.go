@@ -6,19 +6,23 @@
 //
 // where the temporal context θ't is a multinomial directly over items —
 // one per interval. Parameters are learned with the EM updates of
-// Equations (4)–(11); the E-step parallelizes over users with per-worker
-// sufficient-statistic slabs, mirroring the MapReduce decomposition the
-// paper notes in Section 3.2.3.
+// Equations (4)–(11); the iteration loop — sharding, merge order,
+// convergence, checkpointing — is owned by internal/train, this package
+// supplies only the E/M-step math, mirroring the MapReduce
+// decomposition the paper notes in Section 3.2.3.
 package itcam
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"tcam/internal/cuboid"
 	"tcam/internal/model"
+	"tcam/internal/train"
 )
 
 // maxDenseCells guards the dense T×V temporal-context table: ITCAM
@@ -26,10 +30,6 @@ import (
 // sensible for modest catalogs (the paper's Digg and MovieLens runs).
 // Beyond this size, use TTCAM.
 const maxDenseCells = 64 << 20
-
-// lambdaClamp keeps the learned mixing weights away from the degenerate
-// endpoints, where one mixture component can never recover mass.
-const lambdaClamp = 0.01
 
 // Config parameterizes ITCAM training.
 type Config struct {
@@ -39,10 +39,18 @@ type Config struct {
 	// log-likelihood improvement below which training stops early.
 	MaxIters int
 	Tol      float64
+	// MaxWall optionally bounds training wall-clock time (0 = no budget).
+	MaxWall time.Duration
 	// Seed drives the random initialization.
 	Seed int64
-	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	// Workers caps E-step goroutines; non-positive means GOMAXPROCS. It
+	// never affects the learned parameters.
 	Workers int
+	// Shards is the deterministic E-step shard count (0 means
+	// train.DefaultShards). It fixes the floating-point summation
+	// grouping: runs with equal Shards produce bit-identical parameters
+	// regardless of Workers.
+	Shards int
 	// Smoothing is the additive epsilon applied when normalizing every
 	// multinomial, keeping all generation probabilities positive.
 	Smoothing float64
@@ -58,6 +66,11 @@ type Config struct {
 	// synthetic worlds, Equation (20) applied verbatim — nil here —
 	// recovers the ground-truth λ distribution best).
 	LambdaMass []float64
+	// Checkpoint configures periodic parameter snapshots and resume; the
+	// zero value disables them.
+	Checkpoint train.CheckpointConfig
+	// Hook, when non-nil, observes every EM iteration.
+	Hook func(model.IterStat)
 }
 
 // DefaultConfig returns the training configuration used by the
@@ -86,6 +99,19 @@ func (c Config) validate(data *cuboid.Cuboid) error {
 		return fmt.Errorf("itcam: LambdaMass has %d entries for %d cells", len(c.LambdaMass), data.NNZ())
 	}
 	return nil
+}
+
+// engineConfig translates the model-level knobs into the engine policy.
+func (c Config) engineConfig() train.Config {
+	return train.Config{
+		MaxIters:   c.MaxIters,
+		Tol:        c.Tol,
+		MaxWall:    c.MaxWall,
+		Shards:     c.Shards,
+		Workers:    c.Workers,
+		Checkpoint: c.Checkpoint,
+		Hook:       c.Hook,
+	}
 }
 
 // Model is a trained ITCAM. All parameter slices are row-major.
@@ -128,25 +154,26 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 	}
 	m.initialize(data, cfg.Seed)
 
-	workers := model.Workers(cfg.Workers)
-	acc := newAccumulators(m, workers)
-	prevLL := math.Inf(-1)
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		ll := m.emIteration(data, cfg, workers, acc)
-		stats.LogLikelihood = append(stats.LogLikelihood, ll)
-		if iter > 0 {
-			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
-				stats.Converged = true
-				break
-			}
-		}
-		prevLL = ll
+	tr := &trainer{
+		m:      m,
+		data:   data,
+		cfg:    cfg,
+		theta:  make([]float64, len(m.theta)),
+		lamNum: make([]float64, n),
+		lamDen: make([]float64, n),
+	}
+	stats, err := train.Run(tr, cfg.engineConfig())
+	if err != nil {
+		return nil, stats, err
 	}
 	return m, stats, nil
 }
 
 // initialize seeds θ and φ with jittered-uniform rows, θ' with the
-// empirical per-interval item distribution, and λ at one half.
+// empirical per-interval item distribution, and λ at one half. This is
+// the only place training consumes randomness; a checkpoint resume
+// simply overwrites the initialized parameters, which is why resumed
+// runs match uninterrupted ones bit-for-bit.
 func (m *Model) initialize(data *cuboid.Cuboid, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	fillJitteredRows(rng, m.theta, m.k1)
@@ -167,106 +194,86 @@ func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
 	model.NormalizeRows(data, cols, 0)
 }
 
-// accumulators holds the per-iteration sufficient statistics; the
-// φ and θ' slabs are per-worker to avoid write contention, while θ and λ
-// are sharded by user and written directly.
-type accumulators struct {
-	theta   []float64
-	phiW    [][]float64
-	thetaTW [][]float64
-	lamNum  []float64
-	lamDen  []float64
-	llW     []float64
-	pzW     [][]float64 // per-worker E-step posterior scratch
+// trainer adapts the ITCAM E/M-step math to the train.Trainable
+// contract. The θ and λ sufficient statistics are user-sharded — every
+// shard writes a disjoint row range of one shared slab — so only the
+// global φ and θ' slabs are duplicated per shard and merged.
+type trainer struct {
+	m    *Model
+	data *cuboid.Cuboid
+	cfg  Config
+
+	theta  []float64 // N×K1, shard s owns rows [lo, hi)
+	lamNum []float64 // N
+	lamDen []float64 // N
 }
 
-func newAccumulators(m *Model, workers int) *accumulators {
-	a := &accumulators{
-		theta:   make([]float64, len(m.theta)),
-		lamNum:  make([]float64, m.numUsers),
-		lamDen:  make([]float64, m.numUsers),
-		llW:     make([]float64, workers),
-		phiW:    make([][]float64, workers),
-		thetaTW: make([][]float64, workers),
-		pzW:     make([][]float64, workers),
-	}
-	for w := 0; w < workers; w++ {
-		a.phiW[w] = make([]float64, len(m.phi))
-		a.thetaTW[w] = make([]float64, len(m.thetaT))
-		a.pzW[w] = make([]float64, m.k1)
-	}
-	return a
+// accum is one shard's sufficient-statistic set: private φ and θ' slabs
+// plus the shard's slice of the shared user-dimension statistics.
+type accum struct {
+	tr     *trainer
+	lo, hi int
+
+	phi    []float64 // K1×V
+	thetaT []float64 // T×V
+	pz     []float64 // E-step posterior scratch, length K1
+	ll     float64
 }
 
-func (a *accumulators) reset() {
-	zero(a.theta)
-	zero(a.lamNum)
-	zero(a.lamDen)
-	zero(a.llW)
-	for _, s := range a.phiW {
-		zero(s)
-	}
-	for _, s := range a.thetaTW {
-		zero(s)
+func (tr *trainer) NumUsers() int { return tr.m.numUsers }
+
+func (tr *trainer) NewAccum(_, lo, hi int) train.Accum {
+	return &accum{
+		tr:     tr,
+		lo:     lo,
+		hi:     hi,
+		phi:    make([]float64, len(tr.m.phi)),
+		thetaT: make([]float64, len(tr.m.thetaT)),
+		pz:     make([]float64, tr.m.k1),
 	}
 }
 
-func zero(s []float64) {
-	for i := range s {
-		s[i] = 0
-	}
+// Reset clears the shard's slabs and its disjoint range of the shared
+// user-dimension statistics.
+//
+//tcam:hotpath
+func (a *accum) Reset() {
+	k1 := a.tr.m.k1
+	train.Zero(a.tr.theta[a.lo*k1 : a.hi*k1])
+	train.Zero(a.tr.lamNum[a.lo:a.hi])
+	train.Zero(a.tr.lamDen[a.lo:a.hi])
+	train.Zero(a.phi)
+	train.Zero(a.thetaT)
+	a.ll = 0
 }
 
-// emIteration runs one E+M step and returns the data log-likelihood
-// under the parameters *before* the update (the quantity EM is
-// guaranteed not to decrease across iterations).
-func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
-	acc.reset()
-	k1, V := m.k1, m.numItems
-	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
-		m.emUserRange(data, cfg, acc, worker, lo, hi)
-	})
-
-	// M-step — Equations (8)–(11).
-	copy(m.theta, acc.theta)
-	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
-	copy(m.phi, model.MergeSlabs(acc.phiW))
-	model.NormalizeRows(m.phi, V, cfg.Smoothing)
-	copy(m.thetaT, model.MergeSlabs(acc.thetaTW))
-	model.NormalizeRows(m.thetaT, V, cfg.Smoothing)
-	for u := 0; u < m.numUsers; u++ {
-		if acc.lamDen[u] > 0 {
-			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
-		}
-	}
-	if model.AssertionsEnabled {
-		model.AssertRowStochastic("itcam theta", m.theta, k1, 1e-9)
-		model.AssertRowStochastic("itcam phi", m.phi, V, 1e-9)
-		model.AssertRowStochastic("itcam thetaT", m.thetaT, V, 1e-9)
-		model.AssertFiniteIn01("itcam lambda", m.lambda)
-	}
-
-	var ll float64
-	for _, x := range acc.llW {
-		ll += x
-	}
-	return ll
+// Merge folds src's global slabs into the receiver; the user-sharded
+// statistics live in one shared slab and need no merging.
+//
+//tcam:hotpath
+func (a *accum) Merge(src train.Accum) {
+	s := src.(*accum)
+	train.MergeInto(a.phi, s.phi)
+	train.MergeInto(a.thetaT, s.thetaT)
+	a.ll += s.ll
 }
 
-// emUserRange runs the E-step over one worker's user range [lo, hi),
-// accumulating sufficient statistics into the worker's slabs. All
-// scratch is pre-sized in the accumulators so the per-iteration inner
+func (tr *trainer) EStep(a train.Accum) { tr.emUserRange(a.(*accum)) }
+
+// emUserRange runs the E-step over one shard's user range [lo, hi),
+// accumulating sufficient statistics into the shard's slabs. All
+// scratch is pre-sized in the accumulator so the per-iteration inner
 // loop never touches the allocator.
 //
 //tcam:hotpath
-func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, worker, lo, hi int) {
+func (tr *trainer) emUserRange(a *accum) {
+	m, cfg := tr.m, tr.cfg
 	k1, V := m.k1, m.numItems
+	data := tr.data
 	cells := data.Cells()
-	phiAcc := acc.phiW[worker]
-	thetaTAcc := acc.thetaTW[worker]
-	pz := acc.pzW[worker]
+	pz := a.pz
 	var ll float64
-	for u := lo; u < hi; u++ {
+	for u := a.lo; u < a.hi; u++ {
 		lam := m.lambda[u]
 		thetaRow := m.theta[u*k1 : (u+1)*k1]
 		for _, ci := range data.UserCells(u) {
@@ -293,31 +300,75 @@ func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, 
 				scale := w * ps1 / pu
 				for z := 0; z < k1; z++ {
 					c := scale * pz[z]
-					acc.theta[u*k1+z] += c
-					phiAcc[z*V+v] += c
+					tr.theta[u*k1+z] += c
+					a.phi[z*V+v] += c
 				}
 			}
-			thetaTAcc[t*V+v] += w * (1 - ps1)
+			a.thetaT[t*V+v] += w * (1 - ps1)
 			lm := w
 			if cfg.LambdaMass != nil {
 				lm = cfg.LambdaMass[ci]
 			}
-			acc.lamNum[u] += lm * ps1
-			acc.lamDen[u] += lm
+			tr.lamNum[u] += lm * ps1
+			tr.lamDen[u] += lm
 		}
 	}
-	acc.llW[worker] = ll
+	a.ll = ll
 }
 
-func clampLambda(x float64) float64 {
-	if x < lambdaClamp {
-		return lambdaClamp
+// MStep applies Equations (8)–(11) from the merged statistics and
+// returns the data log-likelihood under the parameters the iteration
+// started from (the quantity EM is guaranteed not to decrease).
+func (tr *trainer) MStep(merged train.Accum) float64 {
+	a := merged.(*accum)
+	m, cfg := tr.m, tr.cfg
+	k1, V := m.k1, m.numItems
+	copy(m.theta, tr.theta)
+	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
+	copy(m.phi, a.phi)
+	model.NormalizeRows(m.phi, V, cfg.Smoothing)
+	copy(m.thetaT, a.thetaT)
+	model.NormalizeRows(m.thetaT, V, cfg.Smoothing)
+	for u := 0; u < m.numUsers; u++ {
+		if tr.lamDen[u] > 0 {
+			m.lambda[u] = train.ClampLambda(tr.lamNum[u] / tr.lamDen[u])
+		}
 	}
-	if x > 1-lambdaClamp {
-		return 1 - lambdaClamp
+	if model.AssertionsEnabled {
+		model.AssertRowStochastic("itcam theta", m.theta, k1, 1e-9)
+		model.AssertRowStochastic("itcam phi", m.phi, V, 1e-9)
+		model.AssertRowStochastic("itcam thetaT", m.thetaT, V, 1e-9)
+		model.AssertFiniteIn01("itcam lambda", m.lambda)
 	}
-	return x
+	return a.ll
 }
+
+// EncodeParams snapshots the full parameter state (the model wire
+// format) for the engine's checkpoints.
+func (tr *trainer) EncodeParams(w io.Writer) error { return tr.m.Write(w) }
+
+// DecodeParams restores a checkpoint snapshot into the model being
+// trained, rejecting dimension mismatches against the training config.
+func (tr *trainer) DecodeParams(r io.Reader) error {
+	loaded, err := Read(r)
+	if err != nil {
+		return err
+	}
+	m := tr.m
+	if loaded.numUsers != m.numUsers || loaded.numIntervals != m.numIntervals ||
+		loaded.numItems != m.numItems || loaded.k1 != m.k1 {
+		return fmt.Errorf("itcam: checkpoint dimensions %d/%d/%d/K1=%d do not match training config %d/%d/%d/K1=%d",
+			loaded.numUsers, loaded.numIntervals, loaded.numItems, loaded.k1,
+			m.numUsers, m.numIntervals, m.numItems, m.k1)
+	}
+	m.theta, m.phi, m.thetaT, m.lambda = loaded.theta, loaded.phi, loaded.thetaT, loaded.lambda
+	return nil
+}
+
+var (
+	_ train.Trainable      = (*trainer)(nil)
+	_ train.Checkpointable = (*trainer)(nil)
+)
 
 // Name returns the model label ("ITCAM" or "W-ITCAM").
 func (m *Model) Name() string { return m.label }

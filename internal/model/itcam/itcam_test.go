@@ -7,6 +7,7 @@ import (
 
 	"tcam/internal/cuboid"
 	"tcam/internal/model"
+	"tcam/internal/train"
 )
 
 // trendWorld builds a cuboid with two user populations over two item
@@ -129,7 +130,7 @@ func TestDistributionsNormalized(t *testing.T) {
 		checkSimplex("theta'_t", m.TemporalContext(tt))
 	}
 	for u := 0; u < m.NumUsers(); u++ {
-		if l := m.Lambda(u); l < lambdaClamp-1e-12 || l > 1-lambdaClamp+1e-12 {
+		if l := m.Lambda(u); l < train.LambdaClamp-1e-12 || l > 1-train.LambdaClamp+1e-12 {
 			t.Fatalf("lambda[%d] = %v outside clamp", u, l)
 		}
 	}

@@ -7,6 +7,7 @@ package model
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Recommender is the minimal surface the evaluation harness needs: a
@@ -57,6 +58,34 @@ type QueryWeighter interface {
 	QueryWeightsInto(u, t int, dst []float64)
 }
 
+// IterStat describes one EM iteration for observability consumers:
+// the per-iteration hook of the training engine, the tcamtrain
+// -progress / -train-log views and the experiments convergence report.
+type IterStat struct {
+	// Iter is the 1-based iteration number within the whole run
+	// (checkpoint-resumed runs continue the numbering).
+	Iter int
+	// LogLikelihood is the data log-likelihood under the parameters the
+	// iteration started from.
+	LogLikelihood float64
+	// Delta is the relative log-likelihood improvement over the previous
+	// iteration (the quantity the Tol early-stop tests); 0 on the first.
+	Delta float64
+	// EStep and MStep split the iteration's wall time between the
+	// parallel expectation pass and the coordinator maximization.
+	EStep time.Duration
+	MStep time.Duration
+	// Wall is the iteration's total wall time.
+	Wall time.Duration
+}
+
+// Reasons a training run stopped, recorded in TrainStats.StopReason.
+const (
+	StopConverged = "converged"
+	StopMaxIters  = "max-iters"
+	StopWallClock = "wall-clock"
+)
+
 // TrainStats records an EM run: the log-likelihood after every
 // iteration and why training stopped.
 type TrainStats struct {
@@ -65,6 +94,16 @@ type TrainStats struct {
 	// Converged is true when the relative improvement fell below the
 	// tolerance before MaxIters was reached.
 	Converged bool
+	// Iters carries the per-iteration observability records for trainers
+	// that run on the internal/train engine; legacy trainers leave it
+	// nil.
+	Iters []IterStat
+	// StopReason is one of the Stop* constants for engine-driven runs,
+	// empty otherwise.
+	StopReason string
+	// ResumedAt is the number of already-completed iterations restored
+	// from a checkpoint (0 for uninterrupted runs).
+	ResumedAt int
 }
 
 // Iterations returns the number of EM iterations actually run.

@@ -1,0 +1,232 @@
+package ttcam
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/faultinject"
+	"tcam/internal/train"
+)
+
+// engineWorld is the frozen dataset behind testdata/prerefactor_*: the
+// fixtures were generated from exactly this cuboid by the pre-refactor
+// trainer (per-worker sharding, Workers=2), so these tests prove the
+// engine-based trainer reproduces the old arithmetic bit-for-bit.
+func engineWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	b := cuboid.NewBuilder(30, 6, 25)
+	for u := 0; u < 30; u++ {
+		for t := 0; t < 6; t++ {
+			b.MustAdd(u, t, (u*3+t*7)%25, 1+float64((u+t)%4))
+			b.MustAdd(u, t, (u+t*t)%25, 1)
+			if (u+t)%3 == 0 {
+				b.MustAdd(u, t, (u*5+t)%25, 2)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// engineConfig mirrors the fixture generator's config, with the legacy
+// Workers=2 sharding expressed as Shards=2 under the engine.
+func engineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2, cfg.MaxIters, cfg.Tol, cfg.Seed = 7, 5, 9, 1e-6, 11
+	cfg.Shards = 2
+	return cfg
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameModel(t *testing.T, label string, got, want *Model) {
+	t.Helper()
+	if !bitsEqual(got.theta, want.theta) {
+		t.Errorf("%s: theta differs", label)
+	}
+	if !bitsEqual(got.phi, want.phi) {
+		t.Errorf("%s: phi differs", label)
+	}
+	if !bitsEqual(got.thetaTx, want.thetaTx) {
+		t.Errorf("%s: thetaTx differs", label)
+	}
+	if !bitsEqual(got.phiX, want.phiX) {
+		t.Errorf("%s: phiX differs", label)
+	}
+	if !bitsEqual(got.lambda, want.lambda) {
+		t.Errorf("%s: lambda differs", label)
+	}
+	if !bitsEqual(got.background, want.background) {
+		t.Errorf("%s: background differs", label)
+	}
+}
+
+func loadFixture(t *testing.T, modelPath, llPath string) (*Model, []float64) {
+	t.Helper()
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.Open(llPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	var ll []float64
+	if err := gob.NewDecoder(lf).Decode(&ll); err != nil {
+		t.Fatal(err)
+	}
+	return m, ll
+}
+
+// TestMatchesPreRefactorFixture pins the refactor's central guarantee
+// for both the plain and background-mixture variants: the engine-based
+// trainer with Shards=2 reproduces the pre-refactor trainer's Workers=2
+// run bit-for-bit.
+func TestMatchesPreRefactorFixture(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		background float64
+		modelPath  string
+		llPath     string
+	}{
+		{"plain", 0, "testdata/prerefactor_model.gob", "testdata/prerefactor_ll.gob"},
+		{"background", 0.15, "testdata/prerefactor_bg_model.gob", "testdata/prerefactor_bg_ll.gob"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantLL := loadFixture(t, tc.modelPath, tc.llPath)
+			for _, workers := range []int{1, 4} {
+				cfg := engineConfig()
+				cfg.Background = tc.background
+				cfg.Workers = workers
+				got, stats, err := Train(engineWorld(t), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameModel(t, fmt.Sprintf("workers=%d", workers), got, want)
+				if !bitsEqual(stats.LogLikelihood, wantLL) {
+					t.Errorf("workers=%d: LL trace differs from pre-refactor fixture", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvariance: parameters depend on Shards, never on
+// Workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	data := engineWorld(t)
+	cfg := engineConfig()
+	cfg.Workers = 1
+	ref, refStats, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	got, gotStats, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameModel(t, "workers 1 vs 8", got, ref)
+	if !bitsEqual(gotStats.LogLikelihood, refStats.LogLikelihood) {
+		t.Error("workers 1 vs 8: LL traces differ")
+	}
+}
+
+// TestTolStopsEarly pins the Tol early-stop the engine gives TTCAM: a
+// converged run must stop before MaxIters with the converged stop
+// reason, and a Tol=0 run must burn every iteration.
+func TestTolStopsEarly(t *testing.T) {
+	data := engineWorld(t)
+	cfg := engineConfig()
+	cfg.MaxIters = 400
+	cfg.Tol = 1e-6
+	_, stats, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged || stats.StopReason != "converged" {
+		t.Fatalf("stats = %+v, want converged", stats)
+	}
+	if stats.Iterations() >= cfg.MaxIters {
+		t.Fatalf("converged run burned all %d iterations", stats.Iterations())
+	}
+
+	cfg.MaxIters = 12
+	cfg.Tol = 0
+	_, stats, err = Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Converged || stats.Iterations() != 12 {
+		t.Fatalf("Tol=0 run stopped early: %+v", stats)
+	}
+}
+
+// TestCheckpointResumeBitIdentical crashes training right after a
+// snapshot lands and proves resuming converges to the exact parameters
+// of the uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	defer faultinject.Reset()
+	data := engineWorld(t)
+	ref, refStats, err := Train(data, engineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, killAfter := range []int{2, 6} {
+		t.Run(fmt.Sprintf("kill-after-%d", killAfter), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := engineConfig()
+			cfg.Checkpoint = train.CheckpointConfig{Dir: dir, Every: 2}
+
+			var saves int
+			faultinject.Set("train.checkpoint.saved", func() {
+				saves++
+				if saves*2 == killAfter {
+					panic("ttcam test: injected crash after checkpoint")
+				}
+			})
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("injected crash did not fire")
+					}
+				}()
+				_, _, _ = Train(data, cfg)
+			}()
+			faultinject.Clear("train.checkpoint.saved")
+
+			cfg.Checkpoint.Resume = true
+			got, stats, err := Train(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ResumedAt != killAfter {
+				t.Fatalf("ResumedAt = %d, want %d", stats.ResumedAt, killAfter)
+			}
+			assertSameModel(t, "resumed", got, ref)
+			if !bitsEqual(stats.LogLikelihood, refStats.LogLikelihood) {
+				t.Error("resumed LL trace differs from uninterrupted run")
+			}
+		})
+	}
+}

@@ -11,8 +11,9 @@
 //	P(v|u,t) = λu·Σ_z P(z|θu)P(v|φz) + (1−λu)·Σ_x P(x|θ't)P(v|φ'x).
 //
 // Parameters are learned with the EM updates of Equations (13)–(16)
-// (plus (8), (9), (11) for the user side). The E-step parallelizes over
-// users with per-worker sufficient-statistic slabs.
+// (plus (8), (9), (11) for the user side). The iteration loop —
+// sharding, merge order, convergence, checkpointing — is owned by
+// internal/train; this package supplies only the E/M-step math.
 //
 // Two extensions beyond the paper are included, both from its future
 // work list: an optional fixed background topic that absorbs noise
@@ -23,15 +24,15 @@ package ttcam
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"tcam/internal/cuboid"
 	"tcam/internal/model"
+	"tcam/internal/train"
 )
-
-// lambdaClamp keeps mixing weights away from the degenerate endpoints.
-const lambdaClamp = 0.01
 
 // Config parameterizes TTCAM training.
 type Config struct {
@@ -43,10 +44,18 @@ type Config struct {
 	// under which training stops early.
 	MaxIters int
 	Tol      float64
+	// MaxWall optionally bounds training wall-clock time (0 = no budget).
+	MaxWall time.Duration
 	// Seed drives the random initialization.
 	Seed int64
-	// Workers is the E-step parallelism; non-positive means GOMAXPROCS.
+	// Workers caps E-step goroutines; non-positive means GOMAXPROCS. It
+	// never affects the learned parameters.
 	Workers int
+	// Shards is the deterministic E-step shard count (0 means
+	// train.DefaultShards). It fixes the floating-point summation
+	// grouping: runs with equal Shards produce bit-identical parameters
+	// regardless of Workers.
+	Shards int
 	// Smoothing is the additive epsilon for every multinomial
 	// normalization.
 	Smoothing float64
@@ -68,6 +77,11 @@ type Config struct {
 	// synthetic worlds, Equation (20) applied verbatim — nil here —
 	// recovers the ground-truth λ distribution best).
 	LambdaMass []float64
+	// Checkpoint configures periodic parameter snapshots and resume; the
+	// zero value disables them.
+	Checkpoint train.CheckpointConfig
+	// Hook, when non-nil, observes every EM iteration.
+	Hook func(model.IterStat)
 }
 
 // DefaultConfig returns the paper's default topic counts (Section 5.3.2)
@@ -94,6 +108,19 @@ func (c Config) validate(data *cuboid.Cuboid) error {
 		return fmt.Errorf("ttcam: LambdaMass has %d entries for %d cells", len(c.LambdaMass), data.NNZ())
 	}
 	return nil
+}
+
+// engineConfig translates the model-level knobs into the engine policy.
+func (c Config) engineConfig() train.Config {
+	return train.Config{
+		MaxIters:   c.MaxIters,
+		Tol:        c.Tol,
+		MaxWall:    c.MaxWall,
+		Shards:     c.Shards,
+		Workers:    c.Workers,
+		Checkpoint: c.Checkpoint,
+		Hook:       c.Hook,
+	}
 }
 
 // Model is a trained TTCAM. Parameter slices are row-major.
@@ -143,19 +170,17 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 	}
 	m.initialize(data, cfg.Seed)
 
-	workers := model.Workers(cfg.Workers)
-	acc := newAccumulators(m, workers)
-	prevLL := math.Inf(-1)
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		ll := m.emIteration(data, cfg, workers, acc)
-		stats.LogLikelihood = append(stats.LogLikelihood, ll)
-		if iter > 0 {
-			if rel := math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12); rel < cfg.Tol {
-				stats.Converged = true
-				break
-			}
-		}
-		prevLL = ll
+	tr := &trainer{
+		m:      m,
+		data:   data,
+		cfg:    cfg,
+		theta:  make([]float64, len(m.theta)),
+		lamNum: make([]float64, n),
+		lamDen: make([]float64, n),
+	}
+	stats, err := train.Run(tr, cfg.engineConfig())
+	if err != nil {
+		return nil, stats, err
 	}
 	return m, stats, nil
 }
@@ -185,83 +210,96 @@ func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
 	model.NormalizeRows(data, cols, 0)
 }
 
-type accumulators struct {
-	theta    []float64
-	lamNum   []float64
-	lamDen   []float64
-	llW      []float64
-	phiW     [][]float64
-	phiXW    [][]float64
-	thetaTxW [][]float64
-	pzW      [][]float64 // per-worker user-path posterior scratch
-	pxW      [][]float64 // per-worker time-path posterior scratch
+// trainer adapts the TTCAM E/M-step math to the train.Trainable
+// contract. The θ and λ sufficient statistics are user-sharded — every
+// shard writes a disjoint row range of one shared slab — so only the
+// global φ, φ' and θ' slabs are duplicated per shard and merged.
+type trainer struct {
+	m    *Model
+	data *cuboid.Cuboid
+	cfg  Config
+
+	theta  []float64 // N×K1, shard s owns rows [lo, hi)
+	lamNum []float64 // N
+	lamDen []float64 // N
 }
 
-func newAccumulators(m *Model, workers int) *accumulators {
-	a := &accumulators{
-		theta:    make([]float64, len(m.theta)),
-		lamNum:   make([]float64, m.numUsers),
-		lamDen:   make([]float64, m.numUsers),
-		llW:      make([]float64, workers),
-		phiW:     make([][]float64, workers),
-		phiXW:    make([][]float64, workers),
-		thetaTxW: make([][]float64, workers),
-		pzW:      make([][]float64, workers),
-		pxW:      make([][]float64, workers),
-	}
-	for w := 0; w < workers; w++ {
-		a.phiW[w] = make([]float64, len(m.phi))
-		a.phiXW[w] = make([]float64, len(m.phiX))
-		a.thetaTxW[w] = make([]float64, len(m.thetaTx))
-		a.pzW[w] = make([]float64, m.k1)
-		a.pxW[w] = make([]float64, m.k2)
-	}
-	return a
+// accum is one shard's sufficient-statistic set: private global slabs
+// plus the shard's slice of the shared user-dimension statistics.
+type accum struct {
+	tr     *trainer
+	lo, hi int
+
+	phi     []float64 // K1×V
+	phiX    []float64 // K2×V
+	thetaTx []float64 // T×K2
+	pz      []float64 // user-path posterior scratch, length K1
+	px      []float64 // time-path posterior scratch, length K2
+	ll      float64
 }
 
-func (a *accumulators) reset() {
-	zero(a.theta)
-	zero(a.lamNum)
-	zero(a.lamDen)
-	zero(a.llW)
-	for _, s := range a.phiW {
-		zero(s)
-	}
-	for _, s := range a.phiXW {
-		zero(s)
-	}
-	for _, s := range a.thetaTxW {
-		zero(s)
+func (tr *trainer) NumUsers() int { return tr.m.numUsers }
+
+func (tr *trainer) NewAccum(_, lo, hi int) train.Accum {
+	return &accum{
+		tr:      tr,
+		lo:      lo,
+		hi:      hi,
+		phi:     make([]float64, len(tr.m.phi)),
+		phiX:    make([]float64, len(tr.m.phiX)),
+		thetaTx: make([]float64, len(tr.m.thetaTx)),
+		pz:      make([]float64, tr.m.k1),
+		px:      make([]float64, tr.m.k2),
 	}
 }
 
-func zero(s []float64) {
-	for i := range s {
-		s[i] = 0
-	}
+// Reset clears the shard's slabs and its disjoint range of the shared
+// user-dimension statistics.
+//
+//tcam:hotpath
+func (a *accum) Reset() {
+	k1 := a.tr.m.k1
+	train.Zero(a.tr.theta[a.lo*k1 : a.hi*k1])
+	train.Zero(a.tr.lamNum[a.lo:a.hi])
+	train.Zero(a.tr.lamDen[a.lo:a.hi])
+	train.Zero(a.phi)
+	train.Zero(a.phiX)
+	train.Zero(a.thetaTx)
+	a.ll = 0
 }
 
-// emIteration runs one E+M step, returning the log-likelihood under the
-// pre-update parameters.
-func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *accumulators) float64 {
-	acc.reset()
+// Merge folds src's global slabs into the receiver; the user-sharded
+// statistics live in one shared slab and need no merging.
+//
+//tcam:hotpath
+func (a *accum) Merge(src train.Accum) {
+	s := src.(*accum)
+	train.MergeInto(a.phi, s.phi)
+	train.MergeInto(a.thetaTx, s.thetaTx)
+	train.MergeInto(a.phiX, s.phiX)
+	a.ll += s.ll
+}
+
+func (tr *trainer) EStep(a train.Accum) { tr.emUserRange(a.(*accum)) }
+
+// MStep applies Equations (8)–(9), (11), (15)–(16) from the merged
+// statistics and returns the log-likelihood under the pre-update
+// parameters.
+func (tr *trainer) MStep(merged train.Accum) float64 {
+	a := merged.(*accum)
+	m, cfg := tr.m, tr.cfg
 	k1, k2, V := m.k1, m.k2, m.numItems
-	model.ParallelRanges(m.numUsers, workers, func(worker, lo, hi int) {
-		m.emUserRange(data, cfg, acc, worker, lo, hi)
-	})
-
-	// M-step.
-	copy(m.theta, acc.theta)
+	copy(m.theta, tr.theta)
 	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
-	copy(m.phi, model.MergeSlabs(acc.phiW))
+	copy(m.phi, a.phi)
 	model.NormalizeRows(m.phi, V, cfg.Smoothing)
-	copy(m.thetaTx, model.MergeSlabs(acc.thetaTxW))
+	copy(m.thetaTx, a.thetaTx)
 	model.NormalizeRows(m.thetaTx, k2, cfg.Smoothing)
-	copy(m.phiX, model.MergeSlabs(acc.phiXW))
+	copy(m.phiX, a.phiX)
 	model.NormalizeRows(m.phiX, V, cfg.Smoothing)
 	for u := 0; u < m.numUsers; u++ {
-		if acc.lamDen[u] > 0 {
-			m.lambda[u] = clampLambda(acc.lamNum[u] / acc.lamDen[u])
+		if tr.lamDen[u] > 0 {
+			m.lambda[u] = train.ClampLambda(tr.lamNum[u] / tr.lamDen[u])
 		}
 	}
 	if model.AssertionsEnabled {
@@ -271,31 +309,53 @@ func (m *Model) emIteration(data *cuboid.Cuboid, cfg Config, workers int, acc *a
 		model.AssertRowStochastic("ttcam phiX", m.phiX, V, 1e-9)
 		model.AssertFiniteIn01("ttcam lambda", m.lambda)
 	}
-
-	var ll float64
-	for _, x := range acc.llW {
-		ll += x
-	}
-	return ll
+	return a.ll
 }
 
-// emUserRange runs the E-step over one worker's user range [lo, hi),
-// accumulating sufficient statistics into the worker's slabs. All
-// scratch is pre-sized in the accumulators so the per-iteration inner
+// EncodeParams snapshots the full parameter state (the model wire
+// format) for the engine's checkpoints.
+func (tr *trainer) EncodeParams(w io.Writer) error { return tr.m.Write(w) }
+
+// DecodeParams restores a checkpoint snapshot into the model being
+// trained, rejecting dimension mismatches against the training config.
+func (tr *trainer) DecodeParams(r io.Reader) error {
+	loaded, err := Read(r)
+	if err != nil {
+		return err
+	}
+	m := tr.m
+	if loaded.numUsers != m.numUsers || loaded.numIntervals != m.numIntervals ||
+		loaded.numItems != m.numItems || loaded.k1 != m.k1 || loaded.k2 != m.k2 {
+		return fmt.Errorf("ttcam: checkpoint dimensions %d/%d/%d/K1=%d/K2=%d do not match training config %d/%d/%d/K1=%d/K2=%d",
+			loaded.numUsers, loaded.numIntervals, loaded.numItems, loaded.k1, loaded.k2,
+			m.numUsers, m.numIntervals, m.numItems, m.k1, m.k2)
+	}
+	m.theta, m.phi, m.thetaTx, m.phiX, m.lambda = loaded.theta, loaded.phi, loaded.thetaTx, loaded.phiX, loaded.lambda
+	m.backgroundW, m.background = loaded.backgroundW, loaded.background
+	return nil
+}
+
+var (
+	_ train.Trainable      = (*trainer)(nil)
+	_ train.Checkpointable = (*trainer)(nil)
+)
+
+// emUserRange runs the E-step over one shard's user range [lo, hi),
+// accumulating sufficient statistics into the shard's slabs. All
+// scratch is pre-sized in the accumulator so the per-iteration inner
 // loop never touches the allocator.
 //
 //tcam:hotpath
-func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, worker, lo, hi int) {
+func (tr *trainer) emUserRange(a *accum) {
+	m, cfg := tr.m, tr.cfg
 	k1, k2, V := m.k1, m.k2, m.numItems
+	data := tr.data
 	cells := data.Cells()
 	bw := m.backgroundW
-	phiAcc := acc.phiW[worker]
-	phiXAcc := acc.phiXW[worker]
-	thetaTxAcc := acc.thetaTxW[worker]
-	pz := acc.pzW[worker]
-	px := acc.pxW[worker]
+	pz := a.pz
+	px := a.px
 	var ll float64
-	for u := lo; u < hi; u++ {
+	for u := a.lo; u < a.hi; u++ {
 		lam := m.lambda[u]
 		thetaRow := m.theta[u*k1 : (u+1)*k1]
 		for _, ci := range data.UserCells(u) {
@@ -343,37 +403,27 @@ func (m *Model) emUserRange(data *cuboid.Cuboid, cfg Config, acc *accumulators, 
 				scale := w * ps1 / pu
 				for z := 0; z < k1; z++ {
 					c := scale * pz[z]
-					acc.theta[u*k1+z] += c
-					phiAcc[z*V+v] += c
+					tr.theta[u*k1+z] += c
+					a.phi[z*V+v] += c
 				}
 			}
 			if pt > 0 && ps0 > 0 {
 				scale := w * ps0 / pt
 				for x := 0; x < k2; x++ {
 					c := scale * px[x]
-					thetaTxAcc[t*k2+x] += c
-					phiXAcc[x*V+v] += c
+					a.thetaTx[t*k2+x] += c
+					a.phiX[x*V+v] += c
 				}
 			}
 			lm := w
 			if cfg.LambdaMass != nil {
 				lm = cfg.LambdaMass[ci]
 			}
-			acc.lamNum[u] += lm * ps1
-			acc.lamDen[u] += lm * (ps1 + ps0)
+			tr.lamNum[u] += lm * ps1
+			tr.lamDen[u] += lm * (ps1 + ps0)
 		}
 	}
-	acc.llW[worker] = ll
-}
-
-func clampLambda(x float64) float64 {
-	if x < lambdaClamp {
-		return lambdaClamp
-	}
-	if x > 1-lambdaClamp {
-		return 1 - lambdaClamp
-	}
-	return x
+	a.ll = ll
 }
 
 // FitNewInterval estimates the temporal context θ' of a previously
@@ -395,7 +445,7 @@ func (m *Model) FitNewInterval(ratings map[int]float64, iters int) []float64 {
 	acc := make([]float64, k2)
 	px := make([]float64, k2)
 	for it := 0; it < iters; it++ {
-		zero(acc)
+		train.Zero(acc)
 		for v, w := range ratings {
 			if v < 0 || v >= V || w <= 0 {
 				continue

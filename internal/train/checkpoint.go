@@ -1,0 +1,169 @@
+package train
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"tcam/internal/atomicfile"
+	"tcam/internal/faultinject"
+	"tcam/internal/model"
+)
+
+// CheckpointConfig enables periodic training snapshots. Every Every
+// iterations the engine writes the full parameter state plus the
+// (RNG-free) iteration metadata — completed-iteration count, the
+// previous log-likelihood the convergence test needs, and the stats
+// trace so far — through internal/atomicfile, so a crash at any point
+// leaves either the previous snapshot or the new one, never a torn
+// file.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory (created if missing). Empty
+	// disables checkpointing.
+	Dir string
+	// Every is the snapshot period in iterations; non-positive means 1.
+	Every int
+	// Resume restores the latest snapshot in Dir before training. A
+	// missing snapshot starts a fresh run (the first run of a resumable
+	// job); a corrupt or truncated one is a hard error — the engine
+	// never trains from garbage.
+	Resume bool
+}
+
+func (c CheckpointConfig) validate() error {
+	if c.Dir == "" && c.Resume {
+		return errors.New("train: Checkpoint.Resume requires Checkpoint.Dir")
+	}
+	return nil
+}
+
+// Checkpointable is the snapshot surface a Trainable must offer for
+// checkpointing: encode the full mutable parameter state, and restore
+// exactly what EncodeParams wrote. Both must round-trip float64 values
+// bit-exactly (gob does), because resumed runs are required to match
+// uninterrupted ones bit-for-bit.
+type Checkpointable interface {
+	EncodeParams(w io.Writer) error
+	DecodeParams(r io.Reader) error
+}
+
+// checkpointFileName is the single snapshot file inside Checkpoint.Dir;
+// saves atomically replace it.
+const checkpointFileName = "train.ckpt"
+
+const (
+	checkpointMagic   = "tcam-train-checkpoint"
+	checkpointVersion = 1
+)
+
+// checkpointFile is the on-disk snapshot layout. Params is the model's
+// own encoding (opaque to the engine) guarded by a CRC so silent
+// corruption fails loudly rather than resuming from garbage; gob itself
+// catches truncation.
+type checkpointFile struct {
+	Magic   string
+	Version int
+	// Iter is the number of completed iterations; PrevLL the
+	// log-likelihood the next iteration's convergence test compares
+	// against.
+	Iter   int
+	PrevLL float64
+	Stats  model.TrainStats
+	Params []byte
+	CRC    uint32
+}
+
+// checkpointer binds a Checkpointable to its snapshot file.
+type checkpointer struct {
+	cp    Checkpointable
+	path  string
+	every int
+}
+
+// newCheckpointer returns nil when checkpointing is disabled, and an
+// error when it is requested but t cannot snapshot.
+func newCheckpointer(t Trainable, cfg CheckpointConfig) (*checkpointer, error) {
+	if cfg.Dir == "" {
+		return nil, nil
+	}
+	cp, ok := t.(Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("train: %T does not support checkpointing", t)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("train: checkpoint dir: %w", err)
+	}
+	every := cfg.Every
+	if every <= 0 {
+		every = 1
+	}
+	return &checkpointer{cp: cp, path: filepath.Join(cfg.Dir, checkpointFileName), every: every}, nil
+}
+
+// save snapshots the parameter state after iter completed iterations.
+func (c *checkpointer) save(iter int, prevLL float64, stats model.TrainStats) error {
+	faultinject.Fire("train.checkpoint.save")
+	var params bytes.Buffer
+	if err := c.cp.EncodeParams(&params); err != nil {
+		return fmt.Errorf("train: checkpoint encode: %w", err)
+	}
+	snap := checkpointFile{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		Iter:    iter,
+		PrevLL:  prevLL,
+		Stats:   stats,
+		Params:  params.Bytes(),
+		CRC:     crc32.ChecksumIEEE(params.Bytes()),
+	}
+	err := atomicfile.Write(c.path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+			return fmt.Errorf("train: checkpoint write: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	faultinject.Fire("train.checkpoint.saved")
+	return nil
+}
+
+// load restores the latest snapshot. ok is false (with a nil error)
+// when no snapshot exists yet; any unreadable, corrupt or truncated
+// snapshot is an error.
+func (c *checkpointer) load() (snap checkpointFile, ok bool, err error) {
+	f, err := os.Open(c.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return snap, false, nil
+		}
+		return snap, false, fmt.Errorf("train: checkpoint open: %w", err)
+	}
+	defer func() {
+		//tcamvet:ignore errcheck read-only file; the decode error already reflects any failure
+		f.Close()
+	}()
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return snap, false, fmt.Errorf("train: checkpoint %s corrupt: %w", c.path, err)
+	}
+	if snap.Magic != checkpointMagic || snap.Version != checkpointVersion {
+		return snap, false, fmt.Errorf("train: checkpoint %s has unknown format %q v%d", c.path, snap.Magic, snap.Version)
+	}
+	if got := crc32.ChecksumIEEE(snap.Params); got != snap.CRC {
+		return snap, false, fmt.Errorf("train: checkpoint %s parameter checksum mismatch (corrupt file)", c.path)
+	}
+	if snap.Iter <= 0 {
+		return snap, false, fmt.Errorf("train: checkpoint %s records %d completed iterations", c.path, snap.Iter)
+	}
+	if err := c.cp.DecodeParams(bytes.NewReader(snap.Params)); err != nil {
+		return snap, false, fmt.Errorf("train: checkpoint restore: %w", err)
+	}
+	return snap, true, nil
+}

@@ -1,0 +1,322 @@
+// Package train is the unified EM training engine behind every TCAM
+// trainer: the in-process ITCAM and TTCAM fitters and the distem
+// MapReduce coordinator all run their iteration loop through Run. The
+// engine owns everything the model variants used to hand-roll
+// separately:
+//
+//   - the iteration driver — deterministic user-range sharding, a worker
+//     pool executing shards, and an ordered accumulator merge, so the
+//     learned parameters are bit-identical for any worker count;
+//   - one convergence policy — MaxIters, a relative log-likelihood
+//     tolerance, and an optional wall-clock budget — applied uniformly
+//     to every variant;
+//   - checkpoint/resume — full parameter snapshots through
+//     internal/atomicfile that resume to parameters bit-identical to an
+//     uninterrupted run;
+//   - observability — per-iteration IterStat records (log-likelihood,
+//     delta, E/M-step wall-time split) fed to TrainStats and an optional
+//     streaming hook.
+//
+// Determinism contract: the number of shards — not the number of
+// workers — fixes the floating-point summation grouping. Shards are
+// contiguous user ranges cut with the same arithmetic for a given
+// (users, shards) pair, each shard owns its own accumulator, and merge
+// always folds shard s+1 into shard s's accumulator in ascending order.
+// Workers only decide how many goroutines execute the shards; results
+// never depend on it, nor on OS scheduling.
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"tcam/internal/model"
+)
+
+// DefaultShards is the deterministic E-step shard count used when a
+// config leaves Shards at zero. It is a fixed constant — not GOMAXPROCS
+// — so default-config training runs reproduce bit-for-bit across
+// machines of any size.
+const DefaultShards = 8
+
+// LambdaClamp keeps learned mixing weights away from the degenerate
+// endpoints, where one mixture component could never recover mass. It
+// is the single shared bound: the in-process trainers and the distem
+// MapReduce reducer all clamp through ClampLambda, so the bound cannot
+// drift between them.
+const LambdaClamp = 0.01
+
+// ClampLambda bounds a mixing weight to [LambdaClamp, 1-LambdaClamp].
+func ClampLambda(x float64) float64 {
+	if x < LambdaClamp {
+		return LambdaClamp
+	}
+	if x > 1-LambdaClamp {
+		return 1 - LambdaClamp
+	}
+	return x
+}
+
+// MergeInto folds one accumulator slab into another by element-wise
+// addition. It is the engine's single merge primitive: every ordered
+// accumulator merge — the in-process trainers' and distem's reducer —
+// goes through it, so the summation arithmetic cannot drift between
+// trainers. dst and src must have equal length.
+//
+//tcam:hotpath
+func MergeInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("train: MergeInto slab length mismatch")
+	}
+	for i, x := range src {
+		dst[i] += x
+	}
+}
+
+// Zero clears an accumulator slab in place.
+//
+//tcam:hotpath
+func Zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Accum is one shard's sufficient-statistic slab set. The engine resets
+// every accumulator at the start of an iteration, runs the E-step into
+// each, then merges them in ascending shard order.
+type Accum interface {
+	// Reset clears the accumulator for the next iteration. Reset calls
+	// are sequential (never concurrent with each other or the E-step).
+	Reset()
+	// Merge folds src into the receiver by element-wise addition. The
+	// engine calls it in ascending shard order, which fixes the
+	// floating-point summation grouping.
+	Merge(src Accum)
+}
+
+// Trainable is the model-specific half of the EM loop: the engine owns
+// iteration order, sharding, merging, convergence and checkpoints; the
+// model owns the math.
+type Trainable interface {
+	// NumUsers returns the size of the sharding dimension.
+	NumUsers() int
+	// NewAccum allocates the accumulator for shard (its user range is
+	// [lo, hi)). Called once per shard before the first iteration, in
+	// ascending shard order.
+	NewAccum(shard, lo, hi int) Accum
+	// EStep scans the accumulator's user range, adding sufficient
+	// statistics (and the range's log-likelihood term) into it. Calls
+	// for different shards may run concurrently.
+	EStep(a Accum)
+	// MStep consumes the merged accumulator, updates the model
+	// parameters in place, and returns the data log-likelihood under the
+	// parameters the iteration started from (the quantity EM never
+	// decreases).
+	MStep(merged Accum) float64
+}
+
+// Config is the engine-level training policy shared by every trainer.
+type Config struct {
+	// MaxIters bounds the EM iterations; it must be positive.
+	MaxIters int
+	// Tol is the relative log-likelihood improvement under which
+	// training stops early; 0 disables the early stop (the run always
+	// burns MaxIters), negative is invalid.
+	Tol float64
+	// MaxWall optionally bounds the run's wall-clock time; after any
+	// iteration that exceeds it the engine checkpoints (when enabled)
+	// and stops with StopReason "wall-clock". 0 means no budget.
+	MaxWall time.Duration
+	// Shards is the deterministic user-range shard count (0 means
+	// DefaultShards). It — not Workers — fixes the floating-point
+	// summation grouping, so two runs agree bit-for-bit exactly when
+	// their shard counts agree.
+	Shards int
+	// Workers caps E-step goroutines; non-positive means GOMAXPROCS.
+	// Worker count never affects the learned parameters.
+	Workers int
+	// Checkpoint configures periodic parameter snapshots; the zero
+	// value disables them.
+	Checkpoint CheckpointConfig
+	// Hook, when non-nil, observes every iteration from the coordinator
+	// goroutine (safe to write to files or channels without locking).
+	Hook func(model.IterStat)
+}
+
+func (c Config) validate() error {
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("train: MaxIters must be positive, got %d", c.MaxIters)
+	}
+	if c.Tol < 0 {
+		return fmt.Errorf("train: negative Tol %v", c.Tol)
+	}
+	if c.MaxWall < 0 {
+		return fmt.Errorf("train: negative MaxWall %v", c.MaxWall)
+	}
+	return c.Checkpoint.validate()
+}
+
+// shardCount resolves the configured shard count against n users,
+// mirroring model.ParallelRanges' clamping so a legacy Workers=S run is
+// reproduced exactly by Shards=S.
+func shardCount(configured, n int) int {
+	s := configured
+	if s <= 0 {
+		s = DefaultShards
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardRange is one contiguous user range [Lo, Hi).
+type shardRange struct{ Lo, Hi int }
+
+// shardRanges cuts [0, n) into at most shards contiguous ranges using
+// ceil(n/shards) chunks — the same arithmetic model.ParallelRanges used
+// for its worker split, so shard boundaries (and therefore summation
+// grouping) depend only on (n, shards).
+func shardRanges(n, shards int) []shardRange {
+	shards = shardCount(shards, n)
+	if n <= 0 {
+		return nil
+	}
+	chunk := (n + shards - 1) / shards
+	out := make([]shardRange, 0, shards)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, shardRange{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Run executes the EM loop for t under cfg and returns the training
+// statistics. When checkpointing is configured, t must also implement
+// Checkpointable; with Checkpoint.Resume set, Run restores the latest
+// snapshot (if one exists) and continues from it, producing parameters
+// bit-identical to an uninterrupted run.
+func Run(t Trainable, cfg Config) (model.TrainStats, error) {
+	var stats model.TrainStats
+	if err := cfg.validate(); err != nil {
+		return stats, err
+	}
+	n := t.NumUsers()
+	if n <= 0 {
+		return stats, errors.New("train: no users to shard")
+	}
+
+	cp, err := newCheckpointer(t, cfg.Checkpoint)
+	if err != nil {
+		return stats, err
+	}
+	startIter := 0
+	prevLL := math.Inf(-1)
+	if cp != nil && cfg.Checkpoint.Resume {
+		snap, ok, err := cp.load()
+		if err != nil {
+			return stats, err
+		}
+		if ok {
+			startIter = snap.Iter
+			prevLL = snap.PrevLL
+			stats = snap.Stats
+			stats.ResumedAt = snap.Iter
+		}
+	}
+
+	ranges := shardRanges(n, cfg.Shards)
+	accums := make([]Accum, len(ranges))
+	for i, r := range ranges {
+		accums[i] = t.NewAccum(i, r.Lo, r.Hi)
+	}
+	workers := model.Workers(cfg.Workers)
+	if workers > len(accums) {
+		workers = len(accums)
+	}
+
+	start := time.Now()
+	for iter := startIter; iter < cfg.MaxIters; iter++ {
+		eStart := time.Now()
+		for _, a := range accums {
+			a.Reset()
+		}
+		runShards(t, accums, workers)
+		for i := 1; i < len(accums); i++ {
+			accums[0].Merge(accums[i])
+		}
+		eDur := time.Since(eStart)
+
+		mStart := time.Now()
+		ll := t.MStep(accums[0])
+		mDur := time.Since(mStart)
+
+		var rel float64
+		if iter > 0 {
+			rel = math.Abs(ll-prevLL) / (math.Abs(prevLL) + 1e-12)
+		}
+		it := model.IterStat{
+			Iter:          iter + 1,
+			LogLikelihood: ll,
+			Delta:         rel,
+			EStep:         eDur,
+			MStep:         mDur,
+			Wall:          eDur + mDur,
+		}
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		stats.Iters = append(stats.Iters, it)
+		if cfg.Hook != nil {
+			cfg.Hook(it)
+		}
+		if iter > 0 && rel < cfg.Tol {
+			stats.Converged = true
+			stats.StopReason = model.StopConverged
+			break
+		}
+		prevLL = ll
+		if cp != nil && (iter+1)%cp.every == 0 {
+			if err := cp.save(iter+1, prevLL, stats); err != nil {
+				return stats, err
+			}
+		}
+		if cfg.MaxWall > 0 && time.Since(start) >= cfg.MaxWall {
+			stats.StopReason = model.StopWallClock
+			break
+		}
+	}
+	if stats.StopReason == "" {
+		stats.StopReason = model.StopMaxIters
+	}
+	return stats, nil
+}
+
+// runShards executes the E-step of every accumulator across the worker
+// pool. Each shard writes only its own accumulator (plus disjoint
+// user-sharded rows of any state the Trainable shares between them), so
+// execution order is irrelevant; determinism comes from the ordered
+// merge afterwards.
+func runShards(t Trainable, accums []Accum, workers int) {
+	if len(accums) == 0 {
+		return
+	}
+	if workers <= 1 || len(accums) == 1 {
+		for _, a := range accums {
+			t.EStep(a)
+		}
+		return
+	}
+	model.ParallelRanges(len(accums), workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			t.EStep(accums[s])
+		}
+	})
+}

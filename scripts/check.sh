@@ -27,10 +27,11 @@ go vet ./...
 go run ./cmd/tcamvet ./...
 
 # The packages where scratch reuse, pooling, snapshot swaps, limiter
-# counters or fault hooks could race, plus the signal-driven lifecycle.
+# counters or fault hooks could race, plus the signal-driven lifecycle
+# and the sharded EM training engine.
 go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/ \
     ./internal/faultinject/ ./internal/client/ ./internal/atomicfile/ \
-    ./cmd/tcamserver/
+    ./internal/train/ ./cmd/tcamserver/
 
 if [ "${1:-}" != "-short" ]; then
     go test ./...

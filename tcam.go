@@ -28,9 +28,11 @@ import (
 
 	"tcam/internal/dataset"
 	"tcam/internal/index"
+	"tcam/internal/model"
 	"tcam/internal/model/itcam"
 	"tcam/internal/model/ttcam"
 	"tcam/internal/topk"
+	"tcam/internal/train"
 	"tcam/internal/weighting"
 )
 
@@ -82,10 +84,26 @@ type Options struct {
 	// (TTCAM only; 0 disables).
 	Background float64
 	// MaxIters bounds EM training. Seed drives all randomness. Workers
-	// caps training parallelism (0 = all CPUs).
+	// caps training parallelism (0 = all CPUs); learned parameters never
+	// depend on it.
 	MaxIters int
 	Seed     int64
 	Workers  int
+	// Tol overrides the relative log-likelihood early-stop tolerance: 0
+	// keeps the model default, a negative value disables the early stop
+	// so every iteration runs.
+	Tol float64
+	// CheckpointDir enables training checkpoints in the directory,
+	// snapshotting every CheckpointEvery iterations (<= 0 means every
+	// iteration). Resume restores the latest snapshot before training; a
+	// resumed run finishes with parameters bit-identical to an
+	// uninterrupted one.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// Progress, when non-nil, observes every EM iteration as it
+	// completes (log-likelihood, delta, E/M-step wall-time split).
+	Progress func(model.IterStat)
 }
 
 // DefaultOptions returns the paper's recommended configuration:
@@ -167,6 +185,9 @@ func Train(log *Dataset, opts Options) (*Recommender, error) {
 	case VariantTTCAM:
 		cfg := ttcam.DefaultConfig()
 		applyCommon(&cfg.K1, &cfg.K2, &cfg.MaxIters, &cfg.Seed, &cfg.Workers, opts)
+		cfg.Tol = resolveTol(cfg.Tol, opts.Tol)
+		cfg.Checkpoint = checkpointOf(opts)
+		cfg.Hook = opts.Progress
 		cfg.Background = opts.Background
 		if opts.Weighted {
 			cfg.Label = "W-TTCAM"
@@ -180,6 +201,9 @@ func Train(log *Dataset, opts Options) (*Recommender, error) {
 		cfg := itcam.DefaultConfig()
 		k2 := 0
 		applyCommon(&cfg.K1, &k2, &cfg.MaxIters, &cfg.Seed, &cfg.Workers, opts)
+		cfg.Tol = resolveTol(cfg.Tol, opts.Tol)
+		cfg.Checkpoint = checkpointOf(opts)
+		cfg.Hook = opts.Progress
 		if opts.Weighted {
 			cfg.Label = "W-ITCAM"
 		}
@@ -192,6 +216,25 @@ func Train(log *Dataset, opts Options) (*Recommender, error) {
 		return nil, fmt.Errorf("tcam: unknown variant %q", opts.Variant)
 	}
 	return newRecommender(bundle), nil
+}
+
+// resolveTol applies the Options.Tol override semantics to a model
+// default: positive overrides, negative disables, zero keeps it.
+func resolveTol(def, override float64) float64 {
+	switch {
+	case override > 0:
+		return override
+	case override < 0:
+		return 0
+	default:
+		return def
+	}
+}
+
+// checkpointOf translates the flat facade options into the engine's
+// checkpoint config.
+func checkpointOf(opts Options) train.CheckpointConfig {
+	return train.CheckpointConfig{Dir: opts.CheckpointDir, Every: opts.CheckpointEvery, Resume: opts.Resume}
 }
 
 func applyCommon(k1, k2, maxIters *int, seed *int64, workers *int, opts Options) {
