@@ -8,7 +8,8 @@
 //	          [-interval 3] [-k1 60] [-k2 40] [-iters 50] [-weighted]
 //	          [-background 0] [-seed 1] [-tol 0] [-progress]
 //	          [-checkpoint dir] [-checkpoint-every 1] [-resume]
-//	          [-train-log out.jsonl]
+//	          [-train-log out.jsonl] [-cpuprofile cpu.pprof]
+//	          [-memprofile mem.pprof]
 //
 // Long runs are resumable: -checkpoint snapshots the parameter state
 // every -checkpoint-every iterations, and rerunning with -resume
@@ -16,6 +17,10 @@
 // uninterrupted run would have produced. -train-log streams one JSON
 // record per EM iteration (log-likelihood, delta, E/M-step wall-time
 // split); -progress prints the same to stdout.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// training run (dataset loading and bundle writing excluded), for
+// inspecting where EM iteration time and steady-state memory go.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tcam"
@@ -48,6 +55,8 @@ func main() {
 	flag.BoolVar(&cfg.resume, "resume", false, "resume from the latest checkpoint in -checkpoint")
 	flag.StringVar(&cfg.trainLog, "train-log", "", "write one JSON record per EM iteration to this file")
 	flag.BoolVar(&cfg.progress, "progress", false, "print per-iteration training progress")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the training run to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a post-training heap profile to this file")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamtrain:", err)
@@ -72,6 +81,8 @@ type runConfig struct {
 	resume          bool
 	trainLog        string
 	progress        bool
+	cpuProfile      string
+	memProfile      string
 }
 
 // iterRecord is the -train-log JSONL schema: one record per completed
@@ -142,8 +153,16 @@ func run(cfg runConfig) error {
 		Resume:          cfg.resume,
 		Progress:        hook,
 	}
+	stopCPU, err := startCPUProfile(cfg.cpuProfile)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	rec, err := tcam.Train(log, opts)
+	stopCPU()
+	if memErr := writeMemProfile(cfg.memProfile); memErr != nil && err == nil {
+		err = memErr
+	}
 	if trainLog != nil {
 		if closeErr := trainLog.Close(); closeErr != nil && err == nil {
 			err = fmt.Errorf("close train log: %w", closeErr)
@@ -160,5 +179,53 @@ func run(cfg runConfig) error {
 		return err
 	}
 	fmt.Printf("wrote bundle %s (%d expanded topics, grid %d intervals)\n", cfg.out, rec.NumTopics(), rec.Grid().Num)
+	return nil
+}
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function; an empty path is a no-op.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		if closeErr := f.Close(); closeErr != nil {
+			fmt.Fprintln(os.Stderr, "tcamtrain: close cpu profile:", closeErr)
+		}
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tcamtrain: close cpu profile:", err)
+		}
+	}, nil
+}
+
+// writeMemProfile snapshots the post-training heap (after a GC, so the
+// profile shows steady-state retention rather than garbage) into path;
+// an empty path is a no-op.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		if closeErr := f.Close(); closeErr != nil {
+			fmt.Fprintln(os.Stderr, "tcamtrain: close mem profile:", closeErr)
+		}
+		return fmt.Errorf("write mem profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close mem profile: %w", err)
+	}
 	return nil
 }

@@ -85,3 +85,56 @@ func Guarded(n int) int {
 	}
 	return n * 2
 }
+
+// csr mimics the cuboid's structure-of-arrays layout: parallel columns
+// plus a row-pointer slice.
+type csr struct {
+	ts, vs  []int32
+	scores  []float64
+	ptr     []int32
+	scratch []float64
+}
+
+// Span is a clean CSR accessor: row-pointer indexing returns value
+// pairs without touching the allocator.
+//
+//tcam:hotpath
+func (c *csr) Span(u int) (int, int) {
+	return int(c.ptr[u]), int(c.ptr[u+1])
+}
+
+// View is a clean multi-slice return: handing out existing backing
+// arrays allocates nothing.
+//
+//tcam:hotpath
+func (c *csr) View() ([]int32, []int32, []float64) {
+	return c.ts, c.vs, c.scores
+}
+
+// ScanRow is a clean CSR row walk: span lookup, column reads and
+// accumulation stay allocation-free.
+//
+//tcam:hotpath
+func (c *csr) ScanRow(u int) float64 {
+	lo, hi := c.Span(u)
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += c.scores[i] * float64(c.vs[i])
+	}
+	return s
+}
+
+// Gather may refill its receiver-owned scratch column, but allocating
+// a fresh column per call is flagged.
+//
+//tcam:hotpath
+func (c *csr) Gather(u int) []float64 {
+	lo, hi := c.Span(u)
+	fresh := make([]float64, 0, hi-lo) // want hotpath
+	_ = fresh
+	c.scratch = c.scratch[:0]
+	for i := lo; i < hi; i++ {
+		c.scratch = append(c.scratch, c.scores[i])
+	}
+	return c.scratch
+}

@@ -4,13 +4,26 @@
 // interval t. It also provides the user-document view (Definition 2),
 // per-interval postings, aggregate statistics and gob serialization.
 //
-// The cuboid is stored sparsely: a flat, deduplicated cell slice plus
-// posting lists by user and by interval, so EM inference touches only
-// nonzero cells — O(nnz·K) per iteration rather than O(N·T·V·K).
+// The cuboid is stored sparsely, CSR-style, in two structure-of-arrays
+// views so EM inference touches only nonzero cells — O(nnz·K) per
+// iteration rather than O(N·T·V·K):
+//
+//   - the by-user view: parallel ts/vs/scores arrays in (U, T, V) order
+//     with a userPtr row pointer, so a per-user E-step is a linear scan
+//     over three contiguous slices with no index indirection;
+//   - the by-interval view: parallel us/vs/scores arrays grouped by
+//     interval (cells in (T, U, V) order) with a timePtr row pointer,
+//     for the item-weighting pass of Section 3.3 and interval-major
+//     trainers.
+//
+// A merged []Cell slice is kept alongside for serialization and callers
+// that want whole cells; its order is exactly the by-user view's order,
+// so index i means the same cell in both.
 package cuboid
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -28,9 +41,22 @@ type Cuboid struct {
 	numIntervals int
 	numItems     int
 
-	cells  []Cell  // sorted by (U, T, V), duplicates merged
-	byUser [][]int // cell indices per user, ascending
-	byTime [][]int // cell indices per interval, ascending
+	cells []Cell // sorted by (U, T, V), duplicates merged
+
+	// By-user CSR view: columnar copies of cells (same order), rows cut
+	// by userPtr. ts[i], vs[i], scores[i] describe cells[i].
+	ts      []int32
+	vs      []int32
+	scores  []float64
+	userPtr []int32 // len numUsers+1
+
+	// By-interval CSR view: cells regrouped by T (within an interval the
+	// order is ascending (U, V), i.e. ascending global cell index), rows
+	// cut by timePtr.
+	tUs     []int32
+	tVs     []int32
+	tScores []float64
+	timePtr []int32 // len numIntervals+1
 }
 
 // Builder accumulates ratings and produces a Cuboid. Duplicate
@@ -106,18 +132,49 @@ func (b *Builder) Build() *Cuboid {
 	return fromCells(b.numUsers, b.numIntervals, b.numItems, merged)
 }
 
+// fromCells freezes a (U, T, V)-sorted, deduplicated cell slice into a
+// Cuboid, building both CSR views with a count-then-fill pass: one scan
+// counts row sizes, a prefix sum turns them into row pointers, and one
+// more scan writes every column entry into its final slot. No slice is
+// ever grown by append, so construction costs O(1) allocations of exact
+// size instead of O(nnz) small reallocations.
 func fromCells(numUsers, numIntervals, numItems int, cells []Cell) *Cuboid {
+	nnz := len(cells)
+	if nnz > math.MaxInt32 {
+		panic(fmt.Sprintf("cuboid: %d cells overflow the int32 CSR row pointers", nnz))
+	}
 	c := &Cuboid{
 		numUsers:     numUsers,
 		numIntervals: numIntervals,
 		numItems:     numItems,
 		cells:        cells,
-		byUser:       make([][]int, numUsers),
-		byTime:       make([][]int, numIntervals),
+		ts:           make([]int32, nnz),
+		vs:           make([]int32, nnz),
+		scores:       make([]float64, nnz),
+		userPtr:      make([]int32, numUsers+1),
+		tUs:          make([]int32, nnz),
+		tVs:          make([]int32, nnz),
+		tScores:      make([]float64, nnz),
+		timePtr:      make([]int32, numIntervals+1),
 	}
-	for i, cell := range cells {
-		c.byUser[cell.U] = append(c.byUser[cell.U], i)
-		c.byTime[cell.T] = append(c.byTime[cell.T], i)
+	for i := range cells {
+		c.userPtr[cells[i].U+1]++
+		c.timePtr[cells[i].T+1]++
+	}
+	for u := 0; u < numUsers; u++ {
+		c.userPtr[u+1] += c.userPtr[u]
+	}
+	for t := 0; t < numIntervals; t++ {
+		c.timePtr[t+1] += c.timePtr[t]
+	}
+	next := make([]int32, numIntervals)
+	copy(next, c.timePtr[:numIntervals])
+	for i := range cells {
+		cell := &cells[i]
+		c.ts[i], c.vs[i], c.scores[i] = cell.T, cell.V, cell.Score
+		p := next[cell.T]
+		next[cell.T] = p + 1
+		c.tUs[p], c.tVs[p], c.tScores[p] = cell.U, cell.V, cell.Score
 	}
 	return c
 }
@@ -135,24 +192,53 @@ func (c *Cuboid) NumItems() int { return c.numItems }
 func (c *Cuboid) NNZ() int { return len(c.cells) }
 
 // Cells returns the merged cell slice sorted by (U, T, V). Callers must
-// not modify it.
+// not modify it. Index i here addresses the same cell as index i of the
+// CSR view.
 func (c *Cuboid) Cells() []Cell { return c.cells }
 
-// UserCells returns the indices into Cells of user u's ratings, in
-// (T, V) order. Callers must not modify the slice.
-func (c *Cuboid) UserCells(u int) []int { return c.byUser[u] }
+// CSR returns the by-user structure-of-arrays view: parallel interval,
+// item and score columns in Cells() order. Row i of the three slices
+// describes Cells()[i]; user u's rows are the contiguous range returned
+// by UserSpan. Callers must not modify the slices.
+//
+//tcam:hotpath
+func (c *Cuboid) CSR() (ts, vs []int32, scores []float64) {
+	return c.ts, c.vs, c.scores
+}
 
-// IntervalCells returns the indices into Cells of the ratings made during
-// interval t. Callers must not modify the slice.
-func (c *Cuboid) IntervalCells(t int) []int { return c.byTime[t] }
+// UserSpan returns the half-open range [lo, hi) of user u's cells in the
+// CSR view (equivalently in Cells()), in (T, V) order.
+//
+//tcam:hotpath
+func (c *Cuboid) UserSpan(u int) (lo, hi int) {
+	return int(c.userPtr[u]), int(c.userPtr[u+1])
+}
+
+// IntervalCSR returns the by-interval structure-of-arrays view: parallel
+// user, item and score columns grouped by interval. Interval t's rows
+// are the contiguous range returned by IntervalSpan, in ascending (U, V)
+// order. Callers must not modify the slices.
+//
+//tcam:hotpath
+func (c *Cuboid) IntervalCSR() (us, vs []int32, scores []float64) {
+	return c.tUs, c.tVs, c.tScores
+}
+
+// IntervalSpan returns the half-open range [lo, hi) of interval t's
+// cells in the IntervalCSR view.
+//
+//tcam:hotpath
+func (c *Cuboid) IntervalSpan(t int) (lo, hi int) {
+	return int(c.timePtr[t]), int(c.timePtr[t+1])
+}
 
 // UserDocument returns user u's rating behaviors as (item, interval)
 // pairs — the user document of Definition 2.
 func (c *Cuboid) UserDocument(u int) []ItemTime {
-	idx := c.byUser[u]
-	doc := make([]ItemTime, len(idx))
-	for i, ci := range idx {
-		doc[i] = ItemTime{Item: int(c.cells[ci].V), Interval: int(c.cells[ci].T)}
+	lo, hi := c.UserSpan(u)
+	doc := make([]ItemTime, hi-lo)
+	for i := range doc {
+		doc[i] = ItemTime{Item: int(c.vs[lo+i]), Interval: int(c.ts[lo+i])}
 	}
 	return doc
 }
@@ -167,8 +253,8 @@ type ItemTime struct {
 // mass).
 func (c *Cuboid) TotalScore() float64 {
 	var s float64
-	for i := range c.cells {
-		s += c.cells[i].Score
+	for _, x := range c.scores {
+		s += x
 	}
 	return s
 }
@@ -202,14 +288,24 @@ func (c *Cuboid) Subset(keep func(cell Cell) bool) *Cuboid {
 }
 
 // ItemsOf returns the set of distinct items user u rated during interval
-// t, ascending. Used by the evaluation protocol's per-(u,t) splits.
+// t, ascending. Used by the evaluation protocol's per-(u,t) splits. It
+// reads the CSR view directly: the user's rows are (T, V)-sorted, so the
+// interval's items form one contiguous, already-ascending sub-range.
 func (c *Cuboid) ItemsOf(u, t int) []int {
-	var items []int
-	for _, ci := range c.byUser[u] {
-		cell := c.cells[ci]
-		if int(cell.T) == t {
-			items = append(items, int(cell.V))
-		}
+	lo, hi := c.UserSpan(u)
+	for lo < hi && int(c.ts[lo]) < t {
+		lo++
+	}
+	end := lo
+	for end < hi && int(c.ts[end]) == t {
+		end++
+	}
+	if end == lo {
+		return nil
+	}
+	items := make([]int, end-lo)
+	for i := range items {
+		items[i] = int(c.vs[lo+i])
 	}
 	return items
 }
@@ -218,12 +314,12 @@ func (c *Cuboid) ItemsOf(u, t int) []int {
 // one rating, ascending.
 func (c *Cuboid) ActiveIntervals(u int) []int {
 	var out []int
-	last := -1
-	for _, ci := range c.byUser[u] {
-		t := int(c.cells[ci].T)
-		if t != last {
-			out = append(out, t)
-			last = t
+	lo, hi := c.UserSpan(u)
+	last := int32(-1)
+	for i := lo; i < hi; i++ {
+		if c.ts[i] != last {
+			last = c.ts[i]
+			out = append(out, int(last))
 		}
 	}
 	return out

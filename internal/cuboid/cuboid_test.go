@@ -2,6 +2,7 @@ package cuboid
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -76,19 +77,19 @@ func TestCellsSorted(t *testing.T) {
 	}
 }
 
-func TestPostingLists(t *testing.T) {
+func TestSpans(t *testing.T) {
 	c := buildSample(t)
-	if got := len(c.UserCells(0)); got != 3 {
-		t.Errorf("user 0 has %d cells, want 3", got)
+	if lo, hi := c.UserSpan(0); hi-lo != 3 {
+		t.Errorf("user 0 span [%d,%d), want 3 cells", lo, hi)
 	}
-	if got := len(c.UserCells(2)); got != 0 {
-		t.Errorf("user 2 has %d cells, want 0", got)
+	if lo, hi := c.UserSpan(2); hi != lo {
+		t.Errorf("user 2 span [%d,%d), want empty", lo, hi)
 	}
-	if got := len(c.IntervalCells(0)); got != 3 {
-		t.Errorf("interval 0 has %d cells, want 3", got)
+	if lo, hi := c.IntervalSpan(0); hi-lo != 3 {
+		t.Errorf("interval 0 span [%d,%d), want 3 cells", lo, hi)
 	}
-	if got := len(c.IntervalCells(1)); got != 2 {
-		t.Errorf("interval 1 has %d cells, want 2", got)
+	if lo, hi := c.IntervalSpan(1); hi-lo != 2 {
+		t.Errorf("interval 1 span [%d,%d), want 2 cells", lo, hi)
 	}
 }
 
@@ -216,8 +217,31 @@ func TestRoundtrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Cells(), c.Cells()) {
 		t.Error("roundtrip changed cells")
 	}
-	if len(got.UserCells(1)) != len(c.UserCells(1)) {
-		t.Error("roundtrip lost posting lists")
+	gotLo, gotHi := got.UserSpan(1)
+	wantLo, wantHi := c.UserSpan(1)
+	if gotLo != wantLo || gotHi != wantHi {
+		t.Error("roundtrip lost CSR row pointers")
+	}
+}
+
+func TestReadRejectsUnsortedCells(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	wire := struct {
+		NumUsers, NumIntervals, NumItems int
+		Cells                            []Cell
+	}{
+		NumUsers: 2, NumIntervals: 2, NumItems: 2,
+		Cells: []Cell{
+			{U: 1, T: 0, V: 0, Score: 1},
+			{U: 0, T: 0, V: 1, Score: 1},
+		},
+	}
+	if err := enc.Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("Read accepted cells out of (U,T,V) order")
 	}
 }
 
@@ -280,42 +304,111 @@ func TestBuildCanonicalProperty(t *testing.T) {
 	}
 }
 
-// Property: posting lists partition the cell set — every cell index
-// appears exactly once across users and exactly once across intervals.
-func TestPostingPartitionProperty(t *testing.T) {
+// Property: the two CSR views partition the cell set. Walking UserSpan
+// for every user enumerates exactly Cells() in order (CSR index i is
+// Cells() index i), and walking IntervalSpan for every interval visits
+// each cell exactly once with matching coordinates — including cuboids
+// with empty users and empty intervals.
+func TestCSRMatchesCellsProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		b := NewBuilder(6, 5, 7)
-		for i := 0; i < 60; i++ {
-			b.MustAdd(r.Intn(6), r.Intn(5), r.Intn(7), 1+r.Float64())
+		// Small dims with a low fill rate so some users and intervals
+		// stay empty; occasionally build an entirely empty cuboid.
+		nu, nt, nv := 2+r.Intn(7), 1+r.Intn(6), 2+r.Intn(8)
+		b := NewBuilder(nu, nt, nv)
+		for i := r.Intn(40); i > 0; i-- {
+			b.MustAdd(r.Intn(nu), r.Intn(nt), r.Intn(nv), 1+r.Float64())
 		}
 		c := b.Build()
-		seenU := make([]bool, c.NNZ())
+		cells := c.Cells()
+		ts, vs, scores := c.CSR()
+		if len(ts) != len(cells) || len(vs) != len(cells) || len(scores) != len(cells) {
+			return false
+		}
+		// By-user view: spans are contiguous, cover [0, NNZ), and the
+		// columns reproduce every cell in Cells() order.
+		next := 0
 		for u := 0; u < c.NumUsers(); u++ {
-			for _, ci := range c.UserCells(u) {
-				if seenU[ci] || int(c.Cells()[ci].U) != u {
+			lo, hi := c.UserSpan(u)
+			if lo != next || hi < lo {
+				return false
+			}
+			for i := lo; i < hi; i++ {
+				cell := cells[i]
+				if int(cell.U) != u || ts[i] != cell.T || vs[i] != cell.V || scores[i] != cell.Score {
 					return false
 				}
-				seenU[ci] = true
 			}
+			next = hi
 		}
-		seenT := make([]bool, c.NNZ())
+		if next != c.NNZ() {
+			return false
+		}
+		// By-interval view: spans partition the cells by T, each cell
+		// visited exactly once, in ascending global-cell order within an
+		// interval.
+		us, tvs, tscores := c.IntervalCSR()
+		seen := make([]bool, c.NNZ())
+		next = 0
 		for tt := 0; tt < c.NumIntervals(); tt++ {
-			for _, ci := range c.IntervalCells(tt) {
-				if seenT[ci] || int(c.Cells()[ci].T) != tt {
+			lo, hi := c.IntervalSpan(tt)
+			if lo != next || hi < lo {
+				return false
+			}
+			prev := -1
+			for i := lo; i < hi; i++ {
+				// Locate the unique matching cell in the canonical slice.
+				ci := -1
+				for j, cell := range cells {
+					if !seen[j] && cell.U == us[i] && int(cell.T) == tt && cell.V == tvs[i] && cell.Score == tscores[i] {
+						ci = j
+						break
+					}
+				}
+				if ci < 0 || ci < prev {
 					return false
 				}
-				seenT[ci] = true
+				seen[ci] = true
+				prev = ci
 			}
+			next = hi
 		}
-		for i := 0; i < c.NNZ(); i++ {
-			if !seenU[i] || !seenT[i] {
+		if next != c.NNZ() {
+			return false
+		}
+		for _, s := range seen {
+			if !s {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Construction must stay count-then-fill: a handful of exact-size
+// allocations per cuboid, not O(nnz) append growth. The bound is loose
+// (a cuboid needs ~10 backing arrays plus the struct) so it only trips
+// on a regression back to incremental growth.
+func TestBuildAllocationBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := NewBuilder(50, 8, 60)
+	for i := 0; i < 2000; i++ {
+		b.MustAdd(r.Intn(50), r.Intn(8), r.Intn(60), 1+r.Float64())
+	}
+	base := b.Build()
+	allocs := testing.AllocsPerRun(10, func() {
+		fromCells(base.numUsers, base.numIntervals, base.numItems, base.cells)
+	})
+	if allocs > 16 {
+		t.Errorf("fromCells allocates %v times per build, want <= 16 (count-then-fill regressed)", allocs)
+	}
+	scaledAllocs := testing.AllocsPerRun(10, func() {
+		base.Scaled(func(Cell) float64 { return 2 })
+	})
+	if scaledAllocs > 20 {
+		t.Errorf("Scaled allocates %v times, want <= 20", scaledAllocs)
 	}
 }

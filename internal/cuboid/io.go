@@ -39,11 +39,19 @@ func Read(r io.Reader) (*Cuboid, error) {
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("cuboid: decode: %w", err)
 	}
-	for _, cell := range wire.Cells {
+	for i, cell := range wire.Cells {
 		if int(cell.U) >= wire.NumUsers || int(cell.T) >= wire.NumIntervals ||
 			int(cell.V) >= wire.NumItems || cell.U < 0 || cell.T < 0 || cell.V < 0 {
 			return nil, fmt.Errorf("cuboid: corrupt cell (%d,%d,%d) outside %dx%dx%d",
 				cell.U, cell.T, cell.V, wire.NumUsers, wire.NumIntervals, wire.NumItems)
+		}
+		// The CSR row pointers require the canonical strict (U, T, V)
+		// order Write always produces; reject streams that lost it.
+		if i > 0 {
+			p := wire.Cells[i-1]
+			if p.U > cell.U || (p.U == cell.U && (p.T > cell.T || (p.T == cell.T && p.V >= cell.V))) {
+				return nil, fmt.Errorf("cuboid: cells out of (U,T,V) order at index %d", i)
+			}
 		}
 	}
 	return fromCells(wire.NumUsers, wire.NumIntervals, wire.NumItems, wire.Cells), nil

@@ -33,22 +33,22 @@ func ComputeStats(c *Cuboid) *Stats {
 		IntervalUsers: make([]int, c.NumIntervals()),
 	}
 	itemSeen := make([]int32, c.NumItems()) // last user who touched item, +1
+	ts, vs, scores := c.CSR()
 	for u := 0; u < c.NumUsers(); u++ {
-		idx := c.UserCells(u)
-		if len(idx) > 0 {
+		lo, hi := c.UserSpan(u)
+		if hi > lo {
 			s.RatedUsers++
 		}
-		lastT := -1
-		for _, ci := range idx {
-			cell := c.Cells()[ci]
-			s.TotalScore += cell.Score
-			if itemSeen[cell.V] != int32(u)+1 {
-				itemSeen[cell.V] = int32(u) + 1
-				s.ItemUsers[cell.V]++
+		lastT := int32(-1)
+		for i := lo; i < hi; i++ {
+			s.TotalScore += scores[i]
+			if itemSeen[vs[i]] != int32(u)+1 {
+				itemSeen[vs[i]] = int32(u) + 1
+				s.ItemUsers[vs[i]]++
 			}
-			if int(cell.T) != lastT {
-				s.IntervalUsers[cell.T]++
-				lastT = int(cell.T)
+			if ts[i] != lastT {
+				s.IntervalUsers[ts[i]]++
+				lastT = ts[i]
 			}
 		}
 	}
@@ -65,13 +65,17 @@ func ComputeStats(c *Cuboid) *Stats {
 // per-interval maps keyed by item. Only nonzero entries are present.
 func ItemIntervalUsers(c *Cuboid) []map[int32]int {
 	out := make([]map[int32]int, c.NumIntervals())
-	for t := range out {
-		out[t] = make(map[int32]int)
-	}
 	// Cells are deduplicated per (u, t, v), so each cell contributes
-	// exactly one distinct user to its (t, v) pair.
-	for _, cell := range c.Cells() {
-		out[cell.T][cell.V]++
+	// exactly one distinct user to its (t, v) pair. The by-interval CSR
+	// view hands each interval its items as one contiguous column range.
+	_, tvs, _ := c.IntervalCSR()
+	for t := range out {
+		lo, hi := c.IntervalSpan(t)
+		m := make(map[int32]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			m[tvs[i]]++
+		}
+		out[t] = m
 	}
 	return out
 }
@@ -81,9 +85,10 @@ func ItemIntervalUsers(c *Cuboid) []map[int32]int {
 // Figures 2 and 5 (temporal frequency curves).
 func ItemFrequencySeries(c *Cuboid, v int) []float64 {
 	series := make([]float64, c.NumIntervals())
-	for _, cell := range c.Cells() {
-		if int(cell.V) == v {
-			series[cell.T]++
+	ts, vs, _ := c.CSR()
+	for i, item := range vs {
+		if int(item) == v {
+			series[ts[i]]++
 		}
 	}
 	return series

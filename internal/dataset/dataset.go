@@ -196,15 +196,15 @@ func SplitPerInterval(rng *rand.Rand, c *cuboid.Cuboid, testFrac float64) Split 
 		panic(fmt.Sprintf("dataset: test fraction %v outside [0,1)", testFrac))
 	}
 	inTest := make([]bool, c.NNZ())
-	forEachGroup(c, func(group []int) {
-		n := len(group)
+	forEachGroup(c, func(lo, hi int) {
+		n := hi - lo
 		k := int(float64(n) * testFrac)
 		if k == 0 {
 			return
 		}
 		perm := rng.Perm(n)
 		for i := 0; i < k; i++ {
-			inTest[group[perm[i]]] = true
+			inTest[lo+perm[i]] = true
 		}
 	})
 	return splitByFlag(c, inTest)
@@ -224,17 +224,17 @@ func splitByFlag(c *cuboid.Cuboid, inTest []bool) Split {
 	return Split{Train: trainB.Build(), Test: testB.Build()}
 }
 
-// forEachGroup invokes fn once per (user, interval) group with the cell
-// indices of that group. Cells() is sorted by (U, T, V), so groups are
-// contiguous runs inside each user's posting list.
-func forEachGroup(c *cuboid.Cuboid, fn func(group []int)) {
-	cells := c.Cells()
+// forEachGroup invokes fn once per (user, interval) group with the
+// group's cell-index range [lo, hi). Cells() is sorted by (U, T, V), so
+// every group is a contiguous run of the CSR row for its user.
+func forEachGroup(c *cuboid.Cuboid, fn func(lo, hi int)) {
+	ts, _, _ := c.CSR()
 	for u := 0; u < c.NumUsers(); u++ {
-		idx := c.UserCells(u)
-		start := 0
-		for i := 1; i <= len(idx); i++ {
-			if i == len(idx) || cells[idx[i]].T != cells[idx[start]].T {
-				fn(idx[start:i])
+		ulo, uhi := c.UserSpan(u)
+		start := ulo
+		for i := ulo + 1; i <= uhi; i++ {
+			if i == uhi || ts[i] != ts[start] {
+				fn(start, i)
 				start = i
 			}
 		}
@@ -251,10 +251,10 @@ func KFolds(rng *rand.Rand, c *cuboid.Cuboid, k int) []Split {
 		panic("dataset: k-fold requires k >= 2")
 	}
 	fold := make([]int, c.NNZ())
-	forEachGroup(c, func(group []int) {
-		perm := rng.Perm(len(group))
+	forEachGroup(c, func(lo, hi int) {
+		perm := rng.Perm(hi - lo)
 		for i, p := range perm {
-			fold[group[p]] = i % k
+			fold[lo+p] = i % k
 		}
 	})
 	splits := make([]Split, k)

@@ -101,14 +101,25 @@ func newStats(p *Params) *SufficientStats {
 }
 
 // Shard is one mapper's slice of the data: a contiguous user range and
-// the cells belonging to it.
+// the cells belonging to it. Because the cuboid stores cells sorted by
+// (U, T, V), a user range is one contiguous cell range, so a shard is a
+// set of zero-copy windows into the cuboid's CSR arrays rather than a
+// copied-out cell list.
 type Shard struct {
 	UserLo, UserHi int // [lo, hi)
-	Cells          []cuboid.Cell
+	// Cells is the shard's window of the canonical cell slice — what a
+	// real deployment would ship to the mapper's machine.
+	Cells []cuboid.Cell
+	// Columnar views aligned with Cells, plus row pointers rebased so
+	// userPtr[u-UserLo] is the first cell of user u within the windows.
+	ts, vs  []int32
+	scores  []float64
+	userPtr []int32
 }
 
 // Partition splits the cuboid into contiguous user-range shards. Cells
-// inside a shard keep their global (U, T, V) coordinates.
+// inside a shard keep their global (U, T, V) coordinates; no cell data
+// is copied — every shard aliases the cuboid's CSR storage.
 func Partition(c *cuboid.Cuboid, shards int) []Shard {
 	if shards < 1 {
 		shards = 1
@@ -117,6 +128,8 @@ func Partition(c *cuboid.Cuboid, shards int) []Shard {
 	if shards > n {
 		shards = n
 	}
+	cells := c.Cells()
+	ts, vs, scores := c.CSR()
 	out := make([]Shard, 0, shards)
 	chunk := (n + shards - 1) / shards
 	for lo := 0; lo < n; lo += chunk {
@@ -124,13 +137,22 @@ func Partition(c *cuboid.Cuboid, shards int) []Shard {
 		if hi > n {
 			hi = n
 		}
-		sh := Shard{UserLo: lo, UserHi: hi}
+		cellLo, _ := c.UserSpan(lo)
+		_, cellHi := c.UserSpan(hi - 1)
+		ptr := make([]int32, hi-lo+1)
 		for u := lo; u < hi; u++ {
-			for _, ci := range c.UserCells(u) {
-				sh.Cells = append(sh.Cells, c.Cells()[ci])
-			}
+			_, e := c.UserSpan(u)
+			ptr[u-lo+1] = int32(e - cellLo)
 		}
-		out = append(out, sh)
+		out = append(out, Shard{
+			UserLo:  lo,
+			UserHi:  hi,
+			Cells:   cells[cellLo:cellHi],
+			ts:      ts[cellLo:cellHi],
+			vs:      vs[cellLo:cellHi],
+			scores:  scores[cellLo:cellHi],
+			userPtr: ptr,
+		})
 	}
 	return out
 }
@@ -146,53 +168,65 @@ func MapShard(sh Shard, p *Params) *SufficientStats {
 }
 
 // mapShardInto accumulates one shard's E-step statistics into out,
-// which the caller has zeroed.
+// which the caller has zeroed. The scan walks the shard's CSR column
+// windows user by user — the user loop hoists the λ, θ row and θ
+// accumulator row lookups out of the per-cell loop; the per-cell
+// floating-point operations and their order match the old cell-struct
+// walk exactly, so mapper output is bit-identical.
 func mapShardInto(sh Shard, p *Params, out *SufficientStats) {
 	k1, k2, V := p.K1, p.K2, p.NumItems
 	pz := make([]float64, k1)
 	px := make([]float64, k2)
-	for _, cell := range sh.Cells {
-		u, t, v, w := int(cell.U), int(cell.T), int(cell.V), cell.Score
+	ts, vs, scores := sh.ts, sh.vs, sh.scores
+	for u := sh.UserLo; u < sh.UserHi; u++ {
+		lo, hi := int(sh.userPtr[u-sh.UserLo]), int(sh.userPtr[u-sh.UserLo+1])
+		if lo == hi {
+			continue
+		}
 		lam := p.Lambda[u]
 		thetaRow := p.Theta[u*k1 : (u+1)*k1]
-		var pu float64
-		for z := 0; z < k1; z++ {
-			q := thetaRow[z] * p.Phi[z*V+v]
-			pz[z] = q
-			pu += q
-		}
-		ctxRow := p.ThetaTx[t*k2 : (t+1)*k2]
-		var pt float64
-		for x := 0; x < k2; x++ {
-			q := ctxRow[x] * p.PhiX[x*V+v]
-			px[x] = q
-			pt += q
-		}
-		denom := lam*pu + (1-lam)*pt
-		if denom <= 0 {
-			denom = 1e-300
-		}
-		out.LogL += w * math.Log(denom)
-		ps1 := lam * pu / denom
-		ps0 := 1 - ps1
-		if pu > 0 && ps1 > 0 {
-			scale := w * ps1 / pu
+		thetaAcc := out.Theta[u*k1 : (u+1)*k1]
+		for i := lo; i < hi; i++ {
+			t, v, w := int(ts[i]), int(vs[i]), scores[i]
+			var pu float64
 			for z := 0; z < k1; z++ {
-				c := scale * pz[z]
-				out.Theta[u*k1+z] += c
-				out.Phi[z*V+v] += c
+				q := thetaRow[z] * p.Phi[z*V+v]
+				pz[z] = q
+				pu += q
 			}
-		}
-		if pt > 0 && ps0 > 0 {
-			scale := w * ps0 / pt
+			ctxRow := p.ThetaTx[t*k2 : (t+1)*k2]
+			var pt float64
 			for x := 0; x < k2; x++ {
-				c := scale * px[x]
-				out.ThetaTx[t*k2+x] += c
-				out.PhiX[x*V+v] += c
+				q := ctxRow[x] * p.PhiX[x*V+v]
+				px[x] = q
+				pt += q
 			}
+			denom := lam*pu + (1-lam)*pt
+			if denom <= 0 {
+				denom = 1e-300
+			}
+			out.LogL += w * math.Log(denom)
+			ps1 := lam * pu / denom
+			ps0 := 1 - ps1
+			if pu > 0 && ps1 > 0 {
+				scale := w * ps1 / pu
+				for z := 0; z < k1; z++ {
+					c := scale * pz[z]
+					thetaAcc[z] += c
+					out.Phi[z*V+v] += c
+				}
+			}
+			if pt > 0 && ps0 > 0 {
+				scale := w * ps0 / pt
+				for x := 0; x < k2; x++ {
+					c := scale * px[x]
+					out.ThetaTx[t*k2+x] += c
+					out.PhiX[x*V+v] += c
+				}
+			}
+			out.LamNum[u] += w * ps1
+			out.LamDen[u] += w
 		}
-		out.LamNum[u] += w * ps1
-		out.LamDen[u] += w
 	}
 }
 

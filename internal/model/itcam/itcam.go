@@ -133,8 +133,23 @@ type Model struct {
 // Equation 20) and returns the model with its training statistics.
 func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 	var stats model.TrainStats
-	if err := cfg.validate(data); err != nil {
+	tr, err := newTrainer(data, cfg)
+	if err != nil {
 		return nil, stats, err
+	}
+	stats, err = train.Run(tr, cfg.engineConfig())
+	if err != nil {
+		return nil, stats, err
+	}
+	return tr.m, stats, nil
+}
+
+// newTrainer validates the config, builds the initialized model and wires
+// up the trainer state. It is the shared setup behind Train and the
+// single-iteration benchmarks.
+func newTrainer(data *cuboid.Cuboid, cfg Config) (*trainer, error) {
+	if err := cfg.validate(data); err != nil {
+		return nil, err
 	}
 	n, T, v := data.NumUsers(), data.NumIntervals(), data.NumItems()
 	label := cfg.Label
@@ -161,12 +176,10 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 		theta:  make([]float64, len(m.theta)),
 		lamNum: make([]float64, n),
 		lamDen: make([]float64, n),
+		phiT:   make([]float64, len(m.phi)),
 	}
-	stats, err := train.Run(tr, cfg.engineConfig())
-	if err != nil {
-		return nil, stats, err
-	}
-	return m, stats, nil
+	tr.refreshPhiT()
+	return tr, nil
 }
 
 // initialize seeds θ and φ with jittered-uniform rows, θ' with the
@@ -198,6 +211,13 @@ func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
 // contract. The θ and λ sufficient statistics are user-sharded — every
 // shard writes a disjoint row range of one shared slab — so only the
 // global φ and θ' slabs are duplicated per shard and merged.
+//
+// phiT is the E-step's read-side copy of φ in item-major (V×K1) layout,
+// rebuilt — by bit-exact transposition — after every M-step and on
+// checkpoint restore. The per-cell topic loop then reads one contiguous
+// K1-length row instead of a stride-V column of m.phi, and the shard
+// accumulators store their φ statistics in the same item-major layout
+// so the loop's writes are contiguous too.
 type trainer struct {
 	m    *Model
 	data *cuboid.Cuboid
@@ -206,15 +226,24 @@ type trainer struct {
 	theta  []float64 // N×K1, shard s owns rows [lo, hi)
 	lamNum []float64 // N
 	lamDen []float64 // N
+	phiT   []float64 // V×K1: transpose of m.phi
+}
+
+// refreshPhiT rebuilds the item-major φ copy from the current model
+// parameters. Transposition is pure data movement, so the E-step reads
+// exactly the values it would have read from m.phi.
+func (tr *trainer) refreshPhiT() {
+	train.Transpose(tr.phiT, tr.m.phi, tr.m.k1, tr.m.numItems)
 }
 
 // accum is one shard's sufficient-statistic set: private φ and θ' slabs
-// plus the shard's slice of the shared user-dimension statistics.
+// plus the shard's slice of the shared user-dimension statistics. The φ
+// slab is item-major (V×K1), mirroring trainer.phiT.
 type accum struct {
 	tr     *trainer
 	lo, hi int
 
-	phi    []float64 // K1×V
+	phiT   []float64 // V×K1
 	thetaT []float64 // T×V
 	pz     []float64 // E-step posterior scratch, length K1
 	ll     float64
@@ -227,7 +256,7 @@ func (tr *trainer) NewAccum(_, lo, hi int) train.Accum {
 		tr:     tr,
 		lo:     lo,
 		hi:     hi,
-		phi:    make([]float64, len(tr.m.phi)),
+		phiT:   make([]float64, len(tr.m.phi)),
 		thetaT: make([]float64, len(tr.m.thetaT)),
 		pz:     make([]float64, tr.m.k1),
 	}
@@ -242,7 +271,7 @@ func (a *accum) Reset() {
 	train.Zero(a.tr.theta[a.lo*k1 : a.hi*k1])
 	train.Zero(a.tr.lamNum[a.lo:a.hi])
 	train.Zero(a.tr.lamDen[a.lo:a.hi])
-	train.Zero(a.phi)
+	train.Zero(a.phiT)
 	train.Zero(a.thetaT)
 	a.ll = 0
 }
@@ -253,7 +282,7 @@ func (a *accum) Reset() {
 //tcam:hotpath
 func (a *accum) Merge(src train.Accum) {
 	s := src.(*accum)
-	train.MergeInto(a.phi, s.phi)
+	train.MergeInto(a.phiT, s.phiT)
 	train.MergeInto(a.thetaT, s.thetaT)
 	a.ll += s.ll
 }
@@ -265,25 +294,36 @@ func (tr *trainer) EStep(a train.Accum) { tr.emUserRange(a.(*accum)) }
 // scratch is pre-sized in the accumulator so the per-iteration inner
 // loop never touches the allocator.
 //
+// The scan is a linear walk of the cuboid's CSR columns — no index
+// indirection — and every slab the K1 inner loop touches (θ row, θ
+// accumulator row, item-major φ row and its accumulator row, posterior
+// scratch) is one contiguous K1-length block, so the whole per-cell
+// working set stays cache-resident. The floating-point operations and
+// their order are exactly those of the pre-CSR loop, which is what
+// keeps trained parameters bit-identical.
+//
 //tcam:hotpath
 func (tr *trainer) emUserRange(a *accum) {
 	m, cfg := tr.m, tr.cfg
 	k1, V := m.k1, m.numItems
 	data := tr.data
-	cells := data.Cells()
+	ts, vs, scores := data.CSR()
+	phiT := tr.phiT
 	pz := a.pz
 	var ll float64
 	for u := a.lo; u < a.hi; u++ {
 		lam := m.lambda[u]
 		thetaRow := m.theta[u*k1 : (u+1)*k1]
-		for _, ci := range data.UserCells(u) {
-			cell := cells[ci]
-			v, t, w := int(cell.V), int(cell.T), cell.Score
+		thetaAcc := tr.theta[u*k1 : (u+1)*k1]
+		lo, hi := data.UserSpan(u)
+		for i := lo; i < hi; i++ {
+			v, t, w := int(vs[i]), int(ts[i]), scores[i]
 
 			// E-step — Equations (4) and (5).
+			phiRow := phiT[v*k1 : (v+1)*k1]
 			var pu float64
 			for z := 0; z < k1; z++ {
-				p := thetaRow[z] * m.phi[z*V+v]
+				p := thetaRow[z] * phiRow[z]
 				pz[z] = p
 				pu += p
 			}
@@ -298,16 +338,17 @@ func (tr *trainer) emUserRange(a *accum) {
 			// Accumulate — numerators of Equations (8)–(11).
 			if pu > 0 {
 				scale := w * ps1 / pu
+				phiAcc := a.phiT[v*k1 : (v+1)*k1]
 				for z := 0; z < k1; z++ {
 					c := scale * pz[z]
-					tr.theta[u*k1+z] += c
-					a.phi[z*V+v] += c
+					thetaAcc[z] += c
+					phiAcc[z] += c
 				}
 			}
 			a.thetaT[t*V+v] += w * (1 - ps1)
 			lm := w
 			if cfg.LambdaMass != nil {
-				lm = cfg.LambdaMass[ci]
+				lm = cfg.LambdaMass[i]
 			}
 			tr.lamNum[u] += lm * ps1
 			tr.lamDen[u] += lm
@@ -325,7 +366,7 @@ func (tr *trainer) MStep(merged train.Accum) float64 {
 	k1, V := m.k1, m.numItems
 	copy(m.theta, tr.theta)
 	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
-	copy(m.phi, a.phi)
+	train.Transpose(m.phi, a.phiT, V, k1) // item-major stats back to K1×V
 	model.NormalizeRows(m.phi, V, cfg.Smoothing)
 	copy(m.thetaT, a.thetaT)
 	model.NormalizeRows(m.thetaT, V, cfg.Smoothing)
@@ -334,6 +375,7 @@ func (tr *trainer) MStep(merged train.Accum) float64 {
 			m.lambda[u] = train.ClampLambda(tr.lamNum[u] / tr.lamDen[u])
 		}
 	}
+	tr.refreshPhiT()
 	if model.AssertionsEnabled {
 		model.AssertRowStochastic("itcam theta", m.theta, k1, 1e-9)
 		model.AssertRowStochastic("itcam phi", m.phi, V, 1e-9)
@@ -362,6 +404,7 @@ func (tr *trainer) DecodeParams(r io.Reader) error {
 			m.numUsers, m.numIntervals, m.numItems, m.k1)
 	}
 	m.theta, m.phi, m.thetaT, m.lambda = loaded.theta, loaded.phi, loaded.thetaT, loaded.lambda
+	tr.refreshPhiT()
 	return nil
 }
 

@@ -187,17 +187,18 @@ func buildTrainingCells(data *cuboid.Cuboid, cfg Config, rng *rand.Rand) []cuboi
 func userMeanTimes(data *cuboid.Cuboid, n int) []float64 {
 	out := make([]float64, n)
 	mid := float64(data.NumIntervals()-1) / 2
+	ts, _, _ := data.CSR()
 	for u := 0; u < n; u++ {
-		idx := data.UserCells(u)
-		if len(idx) == 0 {
+		lo, hi := data.UserSpan(u)
+		if hi == lo {
 			out[u] = mid
 			continue
 		}
 		var sum float64
-		for _, ci := range idx {
-			sum += float64(data.Cells()[ci].T)
+		for _, t := range ts[lo:hi] {
+			sum += float64(t)
 		}
-		out[u] = sum / float64(len(idx))
+		out[u] = sum / float64(hi-lo)
 	}
 	return out
 }

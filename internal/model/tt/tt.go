@@ -100,7 +100,7 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 		phiW[w] = make([]float64, len(m.phi))
 	}
 	llW := make([]float64, workers)
-	cells := data.Cells()
+	_, tvs, tscores := data.IntervalCSR()
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		for i := range thetaAcc {
@@ -117,9 +117,9 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 			var ll float64
 			for t := lo; t < hi; t++ {
 				thetaRow := m.thetaT[t*cfg.K : (t+1)*cfg.K]
-				for _, ci := range data.IntervalCells(t) {
-					cell := cells[ci]
-					vv, w := int(cell.V), cell.Score
+				tlo, thi := data.IntervalSpan(t)
+				for ci := tlo; ci < thi; ci++ {
+					vv, w := int(tvs[ci]), tscores[ci]
 					var pt float64
 					for x := 0; x < cfg.K; x++ {
 						p := thetaRow[x] * m.phi[x*v+vv]

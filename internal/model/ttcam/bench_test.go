@@ -1,0 +1,92 @@
+package ttcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/train"
+)
+
+// benchCuboid builds the deterministic training cuboid behind the EM
+// benchmarks: 2 000 users × 12 intervals × 2 000 items with ~40 ratings
+// per user (≈78k nonzero cells after merging), sized so the φ/φ' slabs
+// dwarf L2 and the benchmark actually exercises the memory layout.
+func benchCuboid(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	const nu, nt, nv = 2000, 12, 2000
+	rng := rand.New(rand.NewSource(7))
+	b := cuboid.NewBuilder(nu, nt, nv)
+	for u := 0; u < nu; u++ {
+		for r := 0; r < 40; r++ {
+			b.MustAdd(u, rng.Intn(nt), rng.Intn(nv), 1+float64(r%3))
+		}
+	}
+	return b.Build()
+}
+
+// benchAccums cuts the user range into train.DefaultShards contiguous
+// shards exactly as the engine does, so benchmarked iterations use the
+// production summation grouping.
+func benchAccums(tb testing.TB, tr *trainer) []train.Accum {
+	tb.Helper()
+	n := tr.NumUsers()
+	shards := train.DefaultShards
+	if shards > n {
+		shards = n
+	}
+	chunk := (n + shards - 1) / shards
+	var accums []train.Accum
+	for lo, s := 0, 0; lo < n; lo, s = lo+chunk, s+1 {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		accums = append(accums, tr.NewAccum(s, lo, hi))
+	}
+	return accums
+}
+
+func benchIteration(b *testing.B, cfg Config) {
+	data := benchCuboid(b)
+	tr, err := newTrainer(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accums := benchAccums(b, tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range accums {
+			a.Reset()
+		}
+		for _, a := range accums {
+			tr.EStep(a)
+		}
+		for j := 1; j < len(accums); j++ {
+			accums[0].Merge(accums[j])
+		}
+		tr.MStep(accums[0])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(data.NNZ())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkEMIteration measures one full EM iteration — shard resets,
+// E-step scans, the ordered accumulator merge and the M-step — on the
+// TTCAM trainer. Steady state must be allocation-free; the headline
+// metric is cells/s (nonzero cuboid cells processed per second).
+func BenchmarkEMIteration(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2 = 40, 32
+	benchIteration(b, cfg)
+}
+
+// BenchmarkEMIterationBackground is the same iteration with the fixed
+// background topic enabled, the variant's extra per-cell branch.
+func BenchmarkEMIterationBackground(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.K1, cfg.K2 = 40, 32
+	cfg.Background = 0.1
+	benchIteration(b, cfg)
+}

@@ -146,8 +146,23 @@ type Model struct {
 // Equation 20).
 func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 	var stats model.TrainStats
-	if err := cfg.validate(data); err != nil {
+	tr, err := newTrainer(data, cfg)
+	if err != nil {
 		return nil, stats, err
+	}
+	stats, err = train.Run(tr, cfg.engineConfig())
+	if err != nil {
+		return nil, stats, err
+	}
+	return tr.m, stats, nil
+}
+
+// newTrainer validates the config, builds the initialized model and wires
+// up the trainer state. It is the shared setup behind Train and the
+// single-iteration benchmarks.
+func newTrainer(data *cuboid.Cuboid, cfg Config) (*trainer, error) {
+	if err := cfg.validate(data); err != nil {
+		return nil, err
 	}
 	n, T, v := data.NumUsers(), data.NumIntervals(), data.NumItems()
 	label := cfg.Label
@@ -177,12 +192,11 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 		theta:  make([]float64, len(m.theta)),
 		lamNum: make([]float64, n),
 		lamDen: make([]float64, n),
+		phiT:   make([]float64, len(m.phi)),
+		phiXT:  make([]float64, len(m.phiX)),
 	}
-	stats, err := train.Run(tr, cfg.engineConfig())
-	if err != nil {
-		return nil, stats, err
-	}
-	return m, stats, nil
+	tr.refreshTransposes()
+	return tr, nil
 }
 
 func (m *Model) initialize(data *cuboid.Cuboid, seed int64) {
@@ -214,6 +228,14 @@ func fillJitteredRows(rng *rand.Rand, data []float64, cols int) {
 // contract. The θ and λ sufficient statistics are user-sharded — every
 // shard writes a disjoint row range of one shared slab — so only the
 // global φ, φ' and θ' slabs are duplicated per shard and merged.
+//
+// phiT and phiXT are the E-step's read-side copies of φ and φ' in
+// item-major (V×K1 and V×K2) layout, rebuilt — by bit-exact
+// transposition — after every M-step and on checkpoint restore. The
+// per-cell topic loops then read one contiguous K-length row per matrix
+// instead of a stride-V column, and the shard accumulators store their
+// φ/φ' statistics in the same item-major layout so the loops' writes
+// are contiguous too.
 type trainer struct {
 	m    *Model
 	data *cuboid.Cuboid
@@ -222,16 +244,27 @@ type trainer struct {
 	theta  []float64 // N×K1, shard s owns rows [lo, hi)
 	lamNum []float64 // N
 	lamDen []float64 // N
+	phiT   []float64 // V×K1: transpose of m.phi
+	phiXT  []float64 // V×K2: transpose of m.phiX
+}
+
+// refreshTransposes rebuilds the item-major φ/φ' copies from the current
+// model parameters. Transposition is pure data movement, so the E-step
+// reads exactly the values it would have read from m.phi and m.phiX.
+func (tr *trainer) refreshTransposes() {
+	train.Transpose(tr.phiT, tr.m.phi, tr.m.k1, tr.m.numItems)
+	train.Transpose(tr.phiXT, tr.m.phiX, tr.m.k2, tr.m.numItems)
 }
 
 // accum is one shard's sufficient-statistic set: private global slabs
-// plus the shard's slice of the shared user-dimension statistics.
+// plus the shard's slice of the shared user-dimension statistics. The φ
+// and φ' slabs are item-major, mirroring trainer.phiT/phiXT.
 type accum struct {
 	tr     *trainer
 	lo, hi int
 
-	phi     []float64 // K1×V
-	phiX    []float64 // K2×V
+	phiT    []float64 // V×K1
+	phiXT   []float64 // V×K2
 	thetaTx []float64 // T×K2
 	pz      []float64 // user-path posterior scratch, length K1
 	px      []float64 // time-path posterior scratch, length K2
@@ -245,8 +278,8 @@ func (tr *trainer) NewAccum(_, lo, hi int) train.Accum {
 		tr:      tr,
 		lo:      lo,
 		hi:      hi,
-		phi:     make([]float64, len(tr.m.phi)),
-		phiX:    make([]float64, len(tr.m.phiX)),
+		phiT:    make([]float64, len(tr.m.phi)),
+		phiXT:   make([]float64, len(tr.m.phiX)),
 		thetaTx: make([]float64, len(tr.m.thetaTx)),
 		pz:      make([]float64, tr.m.k1),
 		px:      make([]float64, tr.m.k2),
@@ -262,8 +295,8 @@ func (a *accum) Reset() {
 	train.Zero(a.tr.theta[a.lo*k1 : a.hi*k1])
 	train.Zero(a.tr.lamNum[a.lo:a.hi])
 	train.Zero(a.tr.lamDen[a.lo:a.hi])
-	train.Zero(a.phi)
-	train.Zero(a.phiX)
+	train.Zero(a.phiT)
+	train.Zero(a.phiXT)
 	train.Zero(a.thetaTx)
 	a.ll = 0
 }
@@ -274,9 +307,9 @@ func (a *accum) Reset() {
 //tcam:hotpath
 func (a *accum) Merge(src train.Accum) {
 	s := src.(*accum)
-	train.MergeInto(a.phi, s.phi)
+	train.MergeInto(a.phiT, s.phiT)
 	train.MergeInto(a.thetaTx, s.thetaTx)
-	train.MergeInto(a.phiX, s.phiX)
+	train.MergeInto(a.phiXT, s.phiXT)
 	a.ll += s.ll
 }
 
@@ -291,17 +324,18 @@ func (tr *trainer) MStep(merged train.Accum) float64 {
 	k1, k2, V := m.k1, m.k2, m.numItems
 	copy(m.theta, tr.theta)
 	model.NormalizeRows(m.theta, k1, cfg.Smoothing)
-	copy(m.phi, a.phi)
+	train.Transpose(m.phi, a.phiT, V, k1) // item-major stats back to K1×V
 	model.NormalizeRows(m.phi, V, cfg.Smoothing)
 	copy(m.thetaTx, a.thetaTx)
 	model.NormalizeRows(m.thetaTx, k2, cfg.Smoothing)
-	copy(m.phiX, a.phiX)
+	train.Transpose(m.phiX, a.phiXT, V, k2) // item-major stats back to K2×V
 	model.NormalizeRows(m.phiX, V, cfg.Smoothing)
 	for u := 0; u < m.numUsers; u++ {
 		if tr.lamDen[u] > 0 {
 			m.lambda[u] = train.ClampLambda(tr.lamNum[u] / tr.lamDen[u])
 		}
 	}
+	tr.refreshTransposes()
 	if model.AssertionsEnabled {
 		model.AssertRowStochastic("ttcam theta", m.theta, k1, 1e-9)
 		model.AssertRowStochastic("ttcam phi", m.phi, V, 1e-9)
@@ -332,6 +366,7 @@ func (tr *trainer) DecodeParams(r io.Reader) error {
 	}
 	m.theta, m.phi, m.thetaTx, m.phiX, m.lambda = loaded.theta, loaded.phi, loaded.thetaTx, loaded.phiX, loaded.lambda
 	m.backgroundW, m.background = loaded.backgroundW, loaded.background
+	tr.refreshTransposes()
 	return nil
 }
 
@@ -345,12 +380,22 @@ var (
 // scratch is pre-sized in the accumulator so the per-iteration inner
 // loop never touches the allocator.
 //
+// The scan is a linear walk of the cuboid's CSR columns — no index
+// indirection — and every slab the K1/K2 inner loops touch (θ and θ'
+// rows, their accumulator rows, the item-major φ/φ' rows and their
+// accumulator rows, posterior scratch) is one contiguous K-length
+// block, so the whole per-cell working set stays cache-resident. The
+// floating-point operations and their order are exactly those of the
+// pre-CSR loop, which is what keeps trained parameters bit-identical.
+//
 //tcam:hotpath
 func (tr *trainer) emUserRange(a *accum) {
 	m, cfg := tr.m, tr.cfg
-	k1, k2, V := m.k1, m.k2, m.numItems
+	k1, k2 := m.k1, m.k2
 	data := tr.data
-	cells := data.Cells()
+	ts, vs, scores := data.CSR()
+	phiT := tr.phiT
+	phiXT := tr.phiXT
 	bw := m.backgroundW
 	pz := a.pz
 	px := a.px
@@ -358,21 +403,24 @@ func (tr *trainer) emUserRange(a *accum) {
 	for u := a.lo; u < a.hi; u++ {
 		lam := m.lambda[u]
 		thetaRow := m.theta[u*k1 : (u+1)*k1]
-		for _, ci := range data.UserCells(u) {
-			cell := cells[ci]
-			v, t, w := int(cell.V), int(cell.T), cell.Score
+		thetaAcc := tr.theta[u*k1 : (u+1)*k1]
+		lo, hi := data.UserSpan(u)
+		for i := lo; i < hi; i++ {
+			v, t, w := int(vs[i]), int(ts[i]), scores[i]
 
 			// E-step — Equations (4), (5) and (13).
+			phiRow := phiT[v*k1 : (v+1)*k1]
 			var pu float64
 			for z := 0; z < k1; z++ {
-				p := thetaRow[z] * m.phi[z*V+v]
+				p := thetaRow[z] * phiRow[z]
 				pz[z] = p
 				pu += p
 			}
 			thetaTxRow := m.thetaTx[t*k2 : (t+1)*k2]
+			phiXRow := phiXT[v*k2 : (v+1)*k2]
 			var pt float64
 			for x := 0; x < k2; x++ {
-				p := thetaTxRow[x] * m.phiX[x*V+v]
+				p := thetaTxRow[x] * phiXRow[x]
 				px[x] = p
 				pt += p
 			}
@@ -401,23 +449,26 @@ func (tr *trainer) emUserRange(a *accum) {
 			// (15)–(16).
 			if pu > 0 && ps1 > 0 {
 				scale := w * ps1 / pu
+				phiAcc := a.phiT[v*k1 : (v+1)*k1]
 				for z := 0; z < k1; z++ {
 					c := scale * pz[z]
-					tr.theta[u*k1+z] += c
-					a.phi[z*V+v] += c
+					thetaAcc[z] += c
+					phiAcc[z] += c
 				}
 			}
 			if pt > 0 && ps0 > 0 {
 				scale := w * ps0 / pt
+				thetaTxAcc := a.thetaTx[t*k2 : (t+1)*k2]
+				phiXAcc := a.phiXT[v*k2 : (v+1)*k2]
 				for x := 0; x < k2; x++ {
 					c := scale * px[x]
-					a.thetaTx[t*k2+x] += c
-					a.phiX[x*V+v] += c
+					thetaTxAcc[x] += c
+					phiXAcc[x] += c
 				}
 			}
 			lm := w
 			if cfg.LambdaMass != nil {
-				lm = cfg.LambdaMass[ci]
+				lm = cfg.LambdaMass[i]
 			}
 			tr.lamNum[u] += lm * ps1
 			tr.lamDen[u] += lm * (ps1 + ps0)

@@ -118,7 +118,8 @@ func Train(data *cuboid.Cuboid, cfg Config) (*Model, model.TrainStats, error) {
 			var ll float64
 			for u := lo; u < hi; u++ {
 				thetaRow := m.theta[u*cfg.K : (u+1)*cfg.K]
-				for _, ci := range data.UserCells(u) {
+				clo, chi := data.UserSpan(u)
+				for ci := clo; ci < chi; ci++ {
 					cell := cells[ci]
 					vv, w := int(cell.V), cell.Score
 					var pu float64

@@ -84,6 +84,27 @@ func Zero(s []float64) {
 	}
 }
 
+// Transpose writes the rows×cols row-major matrix src into dst as its
+// cols×rows transpose: dst[c*rows+r] = src[r*cols+c]. It is pure data
+// movement — no arithmetic — so round-tripping a slab through it is
+// bit-exact. The trainers use it to keep an item-major copy of the
+// topic-item matrices: the E-step then reads and accumulates one
+// contiguous K-length row per cell instead of a stride-V column, which
+// is what keeps the θ/ϕ accumulator rows cache-resident.
+//
+//tcam:hotpath
+func Transpose(dst, src []float64, rows, cols int) {
+	if len(dst) != len(src) || len(src) != rows*cols {
+		panic("train: Transpose dimension mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : (r+1)*cols]
+		for c, x := range row {
+			dst[c*rows+r] = x
+		}
+	}
+}
+
 // Accum is one shard's sufficient-statistic slab set. The engine resets
 // every accumulator at the start of an iteration, runs the E-step into
 // each, then merges them in ascending shard order.

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Runs the training benchmarks (one full EM iteration for both TCAM
+# variants, plus cuboid construction) and snapshots the numbers into
+# BENCH_train.json at the repo root, in the same schema bench_query.sh
+# uses for BENCH_query.json. The headline metric is cells/s: rated
+# cuboid cells processed per second of EM iteration.
+#
+# Usage: scripts/bench_train.sh [benchtime]
+#        scripts/bench_train.sh -smoke
+#
+#   benchtime   -benchtime value passed to go test (default 1s)
+#   -smoke      quick regression gate for check.sh: a 3x run written to
+#               a temp file instead of BENCH_train.json, failing if any
+#               BenchmarkEMIteration variant reports a nonzero
+#               allocs/op (the EM hot loop must stay allocation-free at
+#               steady state).
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-1s}
+out=BENCH_train.json
+smoke=0
+if [ "${1:-}" = "-smoke" ]; then
+    smoke=1
+    benchtime=3x
+    out=$(mktemp)
+fi
+raw=$(mktemp)
+trap 'rm -f "$raw"; [ "$smoke" = 1 ] && rm -f "$out" || true' EXIT
+
+go test -run '^$' -bench 'BenchmarkEMIteration' \
+    -benchmem -benchtime "$benchtime" \
+    ./internal/model/itcam/ ./internal/model/ttcam/ | tee "$raw"
+go test -run '^$' -bench 'BenchmarkCuboidBuild|BenchmarkScaled|BenchmarkSubset' \
+    -benchmem -benchtime "$benchtime" ./internal/cuboid/ | tee -a "$raw"
+
+# Both model packages define BenchmarkEMIteration, so qualify each
+# benchmark name with the package the preceding "pkg:" line names.
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { print "{"; printf "  \"cpus\": %d,\n  \"benchmarks\": [\n", ncpu }
+/^pkg:/ { pkg = $2; sub(/^tcam\//, "", pkg) }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, pkg, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "cells/s")   line = line sprintf(", \"cells_per_sec\": %s", $i)
+        if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    line = line "}"
+    if (n++) printf ",\n"
+    printf "%s", line
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+if [ "$smoke" = 1 ]; then
+    if ! awk '
+        /^BenchmarkEMIteration/ { if ($(NF-1) + 0 != 0) bad = 1 }
+        END { exit bad }' "$raw"; then
+        echo "bench_train.sh: BenchmarkEMIteration allocates (want 0 allocs/op)" >&2
+        exit 1
+    fi
+    echo "bench_train.sh: smoke OK (EM iteration allocation-free)"
+else
+    echo "wrote $out"
+fi

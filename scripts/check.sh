@@ -54,5 +54,9 @@ if [ "${1:-}" != "-short" ]; then
         echo "check.sh: pooled-searcher benchmark allocates (want 0 allocs/op)" >&2
         exit 1
     fi
+
+    # Training allocation gate: the EM iteration benchmarks must stay
+    # allocation-free at steady state for both TCAM variants.
+    scripts/bench_train.sh -smoke
 fi
 echo "check.sh: OK"
