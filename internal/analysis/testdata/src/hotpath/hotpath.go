@@ -138,3 +138,50 @@ func (c *csr) Gather(u int) []float64 {
 	}
 	return c.scratch
 }
+
+// DotUnrolled is the 4-wide slice-forward unrolled kernel shape
+// (internal/topk/score.go, internal/train/kernels.go): reslicing the
+// operands forward by four each step and a range remainder loop are all
+// view operations — clean under the hotpath rules.
+//
+//tcam:hotpath
+func DotUnrolled(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		a = a[4:]
+		b = b[4:]
+	}
+	b = b[:len(a)]
+	for j, x := range a {
+		s += x * b[j]
+	}
+	return s
+}
+
+// DotUnrolledLeaky is the same kernel shape with a per-call spill
+// buffer: the unrolled loop stays clean, the make is flagged.
+//
+//tcam:hotpath
+func DotUnrolledLeaky(a, b []float64) float64 {
+	tmp := make([]float64, len(a)) // want hotpath
+	copy(tmp, a)
+	var s float64
+	for len(tmp) >= 4 && len(b) >= 4 {
+		s += tmp[0] * b[0]
+		s += tmp[1] * b[1]
+		s += tmp[2] * b[2]
+		s += tmp[3] * b[3]
+		tmp = tmp[4:]
+		b = b[4:]
+	}
+	b = b[:len(tmp)]
+	for j, x := range tmp {
+		s += x * b[j]
+	}
+	return s
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tcam/internal/cuboid"
+	"tcam/internal/model"
 	"tcam/internal/train"
 )
 
@@ -69,6 +70,41 @@ func BenchmarkEMIteration(b *testing.B) {
 		for _, a := range accums {
 			tr.EStep(a)
 		}
+		for j := 1; j < len(accums); j++ {
+			accums[0].Merge(accums[j])
+		}
+		tr.MStep(accums[0])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(data.NNZ())*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkEMIterationParallel is BenchmarkEMIteration with the E-step
+// shards fanned across GOMAXPROCS workers, exactly as the training
+// engine's shard runner does. Run with -cpu 1,2,4,8 for the scaling
+// curve recorded in BENCH_train.json; the merge and M-step stay serial,
+// so the curve exposes the Amdahl ceiling of the current split.
+func BenchmarkEMIterationParallel(b *testing.B) {
+	data := benchCuboid(b)
+	cfg := DefaultConfig()
+	cfg.K1 = 40
+	tr, err := newTrainer(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accums := benchAccums(b, tr)
+	workers := model.Workers(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range accums {
+			a.Reset()
+		}
+		model.ParallelRanges(len(accums), workers, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				tr.EStep(accums[s])
+			}
+		})
 		for j := 1; j < len(accums); j++ {
 			accums[0].Merge(accums[j])
 		}

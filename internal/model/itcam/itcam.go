@@ -321,12 +321,7 @@ func (tr *trainer) emUserRange(a *accum) {
 
 			// E-step — Equations (4) and (5).
 			phiRow := phiT[v*k1 : (v+1)*k1]
-			var pu float64
-			for z := 0; z < k1; z++ {
-				p := thetaRow[z] * phiRow[z]
-				pz[z] = p
-				pu += p
-			}
+			pu := train.DotInto(pz, thetaRow, phiRow)
 			pt := m.thetaT[t*V+v]
 			denom := lam*pu + (1-lam)*pt
 			if denom <= 0 {
@@ -338,12 +333,7 @@ func (tr *trainer) emUserRange(a *accum) {
 			// Accumulate — numerators of Equations (8)–(11).
 			if pu > 0 {
 				scale := w * ps1 / pu
-				phiAcc := a.phiT[v*k1 : (v+1)*k1]
-				for z := 0; z < k1; z++ {
-					c := scale * pz[z]
-					thetaAcc[z] += c
-					phiAcc[z] += c
-				}
+				train.AddScaledPair(thetaAcc, a.phiT[v*k1:(v+1)*k1], scale, pz)
 			}
 			a.thetaT[t*V+v] += w * (1 - ps1)
 			lm := w

@@ -410,20 +410,10 @@ func (tr *trainer) emUserRange(a *accum) {
 
 			// E-step — Equations (4), (5) and (13).
 			phiRow := phiT[v*k1 : (v+1)*k1]
-			var pu float64
-			for z := 0; z < k1; z++ {
-				p := thetaRow[z] * phiRow[z]
-				pz[z] = p
-				pu += p
-			}
+			pu := train.DotInto(pz, thetaRow, phiRow)
 			thetaTxRow := m.thetaTx[t*k2 : (t+1)*k2]
 			phiXRow := phiXT[v*k2 : (v+1)*k2]
-			var pt float64
-			for x := 0; x < k2; x++ {
-				p := thetaTxRow[x] * phiXRow[x]
-				px[x] = p
-				pt += p
-			}
+			pt := train.DotInto(px, thetaTxRow, phiXRow)
 			mix := lam*pu + (1-lam)*pt
 			denom := mix
 			var pbg float64 // posterior mass of the background path
@@ -448,23 +438,10 @@ func (tr *trainer) emUserRange(a *accum) {
 			// Accumulate numerators of Equations (8)–(9), (11),
 			// (15)–(16).
 			if pu > 0 && ps1 > 0 {
-				scale := w * ps1 / pu
-				phiAcc := a.phiT[v*k1 : (v+1)*k1]
-				for z := 0; z < k1; z++ {
-					c := scale * pz[z]
-					thetaAcc[z] += c
-					phiAcc[z] += c
-				}
+				train.AddScaledPair(thetaAcc, a.phiT[v*k1:(v+1)*k1], w*ps1/pu, pz)
 			}
 			if pt > 0 && ps0 > 0 {
-				scale := w * ps0 / pt
-				thetaTxAcc := a.thetaTx[t*k2 : (t+1)*k2]
-				phiXAcc := a.phiXT[v*k2 : (v+1)*k2]
-				for x := 0; x < k2; x++ {
-					c := scale * px[x]
-					thetaTxAcc[x] += c
-					phiXAcc[x] += c
-				}
+				train.AddScaledPair(a.thetaTx[t*k2:(t+1)*k2], a.phiXT[v*k2:(v+1)*k2], w*ps0/pt, px)
 			}
 			lm := w
 			if cfg.LambdaMass != nil {

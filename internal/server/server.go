@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -199,7 +200,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	// result slice, which saves the copy Index.Query would make.
 	sr := sn.idx.AcquireSearcher()
 	results, st := sr.Query(sn.bundle.Scorer(), u, t, k, exclude)
+	recs := recsPool.Get().(*[]recommendation)
 	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: st.ItemsExamined}
+	resp.Recommendations = (*recs)[:0]
 	for _, res := range results {
 		resp.Recommendations = append(resp.Recommendations, recommendation{
 			Item:  sn.bundle.Items[res.Item],
@@ -208,6 +211,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	sr.Release()
 	writeJSON(w, http.StatusOK, resp)
+	*recs = resp.Recommendations[:0]
+	recsPool.Put(recs)
 }
 
 // batchQuery is one entry of the /recommend/batch request body.
@@ -222,6 +227,11 @@ type batchQuery struct {
 type batchRequest struct {
 	Queries []batchQuery `json:"queries"`
 }
+
+// batchReqPool recycles decoded batch requests; encoding/json reuses
+// the Queries backing array when its capacity suffices, so steady-state
+// batches skip the per-entry slice growth.
+var batchReqPool = sync.Pool{New: func() interface{} { return new(batchRequest) }}
 
 // batchResponse is the /recommend/batch payload; Results aligns with
 // the request's Queries by position. When the request's context is
@@ -249,9 +259,17 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.batchLimit.release()
-	var req batchRequest
+	req := batchReqPool.Get().(*batchRequest)
+	defer func() {
+		// Drop per-entry pointers so pooled capacity doesn't pin strings.
+		for i := range req.Queries {
+			req.Queries[i] = batchQuery{}
+		}
+		req.Queries = req.Queries[:0]
+		batchReqPool.Put(req)
+	}()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge,
@@ -303,18 +321,28 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = topk.BatchQuery{U: u, T: out.Interval, K: k, Exclude: exclude}
 	}
 	batch := sn.idx.QueryBatchContext(r.Context(), sn.bundle.Scorer(), queries, 0)
+	// One arena backs every query's Recommendations: a single sized
+	// allocation (plus capped windows so a stray append can't alias a
+	// neighbour) instead of one grown slice per query.
+	total := 0
+	for _, br := range batch {
+		total += len(br.Results)
+	}
+	arena := make([]recommendation, 0, total)
 	for i, br := range batch {
 		out := &resp.Results[i]
 		if out.Error != "" {
 			continue
 		}
 		out.ItemsExamined = br.Stats.ItemsExamined
+		start := len(arena)
 		for _, res := range br.Results {
-			out.Recommendations = append(out.Recommendations, recommendation{
+			arena = append(arena, recommendation{
 				Item:  sn.bundle.Items[res.Item],
 				Score: res.Score,
 			})
 		}
+		out.Recommendations = arena[start:len(arena):len(arena)]
 	}
 	if r.Context().Err() != nil {
 		// Cancelled mid-batch: keep the longest fully-answered prefix.
@@ -475,8 +503,48 @@ func shedLoad(w http.ResponseWriter, msg string) {
 	httpError(w, http.StatusTooManyRequests, msg)
 }
 
+// jsonScratch is pooled response-encoding scratch: the buffer and its
+// bound encoder are reused across requests, so steady-state responses
+// cost zero encoder/buffer allocations (the encoder's internal state is
+// reused too). Buffers that ballooned on a large response are dropped
+// rather than pooled so one /topics?n=1000 burst can't pin memory.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledEncodeBuf caps the buffer size returned to the encode pool.
+const maxPooledEncodeBuf = 64 << 10
+
+var encodePool = sync.Pool{New: func() interface{} {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
 func writeJSON(w http.ResponseWriter, code int, payload interface{}) {
+	s := encodePool.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(payload); err != nil {
+		// Encoding failed before anything hit the wire; report it whole.
+		encodePool.Put(s)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = fmt.Fprintf(w, `{"error":%q}`, "response encoding failed: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(payload)
+	_, _ = w.Write(s.buf.Bytes())
+	if s.buf.Cap() <= maxPooledEncodeBuf {
+		encodePool.Put(s)
+	}
 }
+
+// recsPool recycles the recommendation slices backing /recommend and
+// /recommend/batch payloads; writeJSON is synchronous, so handlers can
+// return the slice right after it.
+var recsPool = sync.Pool{New: func() interface{} {
+	s := make([]recommendation, 0, 64)
+	return &s
+}}

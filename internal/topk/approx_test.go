@@ -1,0 +1,173 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestApproxZeroEpsBitIdentical pins the eps == 0 degenerate case: the
+// approximate entry points must follow the exact code path decision for
+// decision, so results AND stats are identical to QueryWeights.
+func TestApproxZeroEpsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		f := randomModel(rng, 3+rng.Intn(14), 30+rng.Intn(300))
+		ix := BuildIndex(f)
+		s := ix.NewSearcher()
+		for q := 0; q < 5; q++ {
+			query := randomQuery(rng, f.NumTopics(), trial%2 == 0)
+			k := 1 + rng.Intn(20)
+
+			exact, exactStats := ix.QueryWeights(query, k, nil)
+			approx, approxStats := s.QueryWeightsApprox(query, k, 0, nil)
+			if len(exact) != len(approx) {
+				t.Fatalf("trial %d: eps=0 length %d, exact %d", trial, len(approx), len(exact))
+			}
+			for i := range exact {
+				if exact[i] != approx[i] { // bit-identical: exact struct equality
+					t.Fatalf("trial %d rank %d: eps=0 %+v, exact %+v", trial, i, approx[i], exact[i])
+				}
+			}
+			if approxStats != exactStats {
+				t.Fatalf("trial %d: eps=0 stats %+v, exact stats %+v", trial, approxStats, exactStats)
+			}
+			if approxStats.Bound != 0 {
+				t.Fatalf("trial %d: eps=0 reported bound %v, want 0", trial, approxStats.Bound)
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestApproxBoundDominatesTrueGap is the ε>0 soundness property: for a
+// randomized index and query, the k-th returned score plus the reported
+// Stats.Bound must dominate the best item the approximate query missed
+// (the true gap), and the bound itself must stay under eps.
+func TestApproxBoundDominatesTrueGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		f := randomModel(rng, 3+rng.Intn(14), 30+rng.Intn(300))
+		ix := BuildIndex(f)
+		query := randomQuery(rng, f.NumTopics(), trial%2 == 0)
+		k := 1 + rng.Intn(20)
+		eps := rng.Float64() * 0.01
+
+		s := ix.NewSearcher()
+		res, st := s.QueryWeightsApprox(query, k, eps, nil)
+		if st.Bound < 0 || st.Bound >= eps+1e-15 {
+			t.Fatalf("trial %d: bound %v outside [0, eps=%v)", trial, st.Bound, eps)
+		}
+		if len(res) == 0 {
+			s.Release()
+			continue
+		}
+		kth := res[len(res)-1].Score
+
+		// Full exact ranking by brute force over every item.
+		all := make([]Result, f.NumItems())
+		for v := range all {
+			all[v] = Result{Item: v, Score: ix.Score(query, v)}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			return all[i].Item < all[j].Item
+		})
+
+		// Every item not returned must score ≤ kth + Bound: the reported
+		// bound dominates the true gap.
+		returned := map[int]bool{}
+		for _, r := range res {
+			returned[r.Item] = true
+		}
+		for _, r := range all {
+			if returned[r.Item] {
+				continue
+			}
+			if r.Score > kth+st.Bound+1e-15 {
+				t.Fatalf("trial %d (eps=%v): missed item %d scores %v, kth=%v bound=%v — true gap %v exceeds bound",
+					trial, eps, r.Item, r.Score, kth, st.Bound, r.Score-kth)
+			}
+		}
+
+		// Returned scores must be the items' exact scores in sorted order.
+		for i := 1; i < len(res); i++ {
+			prev, cur := res[i-1], res[i]
+			if cur.Score > prev.Score || (cur.Score == prev.Score && cur.Item < prev.Item) {
+				t.Fatalf("trial %d: approx results out of order at rank %d: %+v then %+v", trial, i, prev, cur)
+			}
+		}
+		for _, r := range res {
+			if got := ix.Score(query, r.Item); got != r.Score {
+				t.Fatalf("trial %d: approx returned score %v for item %d, exact %v", trial, r.Score, r.Item, got)
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestApproxNegativeEpsPanics pins the constant panic message the
+// tcamvet panicfmt rule requires.
+func TestApproxNegativeEpsPanics(t *testing.T) {
+	f := randomModel(rand.New(rand.NewSource(13)), 4, 20)
+	ix := BuildIndex(f)
+	s := ix.NewSearcher()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative eps did not panic")
+		}
+	}()
+	s.QueryWeightsApprox(randomQuery(rand.New(rand.NewSource(14)), 4, false), 3, -1e-9, nil)
+}
+
+// TestIndexQueryApproxMatchesSearcher checks the pooled Index wrapper
+// delegates to the same code path (results equal, copies owned by the
+// caller).
+func TestIndexQueryApproxMatchesSearcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := randomModel(rng, 8, 200)
+	ix := BuildIndex(f)
+	for _, eps := range []float64{0, 1e-4, 1e-2} {
+		got, gotStats := ix.QueryApprox(f, 0, 0, 10, eps, nil)
+		s := ix.NewSearcher()
+		want, wantStats := s.QueryApprox(f, 0, 0, 10, eps, nil)
+		if len(got) != len(want) {
+			t.Fatalf("eps=%v: wrapper returned %d results, searcher %d", eps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%v rank %d: wrapper %+v, searcher %+v", eps, i, got[i], want[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("eps=%v: wrapper stats %+v, searcher stats %+v", eps, gotStats, wantStats)
+		}
+		s.Release()
+	}
+}
+
+// TestScreenedOutNeverChangesResults drives the float32 screen hard
+// (large k, many trials) and checks the exact contract: whatever
+// ScreenedOut counts, results match BruteForce exactly.
+func TestScreenedOutNeverChangesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	screened := 0
+	for trial := 0; trial < 50; trial++ {
+		f := randomModel(rng, 4+rng.Intn(12), 50+rng.Intn(500))
+		ix := BuildIndex(f)
+		query := randomQuery(rng, f.NumTopics(), true)
+		k := 1 + rng.Intn(30)
+		f.queries[[2]int{0, 0}] = query
+		ta, st := ix.QueryWeights(query, k, nil)
+		bf, _ := BruteForce(f, 0, 0, k, nil)
+		assertSameResults(t, ta, bf)
+		screened += st.ScreenedOut
+	}
+	// The screen should actually fire across 50 randomized trials — a
+	// permanently idle screen would silently devolve to the old path.
+	if screened == 0 {
+		t.Log("float32 screen never fired across 50 trials (allowed, but unexpected)")
+	}
+}

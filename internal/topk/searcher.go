@@ -7,11 +7,11 @@ import (
 )
 
 // Searcher holds the per-query scratch of the extended Threshold
-// Algorithm — topic cursors, an epoch-stamped seen table, the list
-// priority queue and the result heap — so steady-state queries allocate
-// nothing. A Searcher is bound to the Index that created it and is NOT
-// safe for concurrent use; concurrent callers take one each from the
-// index pool via AcquireSearcher.
+// Algorithm — topic cursors, an epoch-stamped seen table, the quantized
+// query vector, the list priority queue and the result heap — so
+// steady-state queries allocate nothing. A Searcher is bound to the
+// Index that created it and is NOT safe for concurrent use; concurrent
+// callers take one each from the index pool via AcquireSearcher.
 //
 // Result slices returned by a Searcher are owned by it and valid only
 // until its next query or Release; callers that retain results must
@@ -22,6 +22,7 @@ type Searcher struct {
 	seen    []uint32  // epoch stamps: seen[v] == epoch ⇔ v examined
 	epoch   uint32    // current query's stamp; bumping it clears seen in O(1)
 	query   []float64 // scratch for model.QueryWeighter fast path
+	query32 []float32 // float32 quantization of the active ϑq vector
 	pq      listHeap
 	results resultHeap
 	out     []Result
@@ -32,10 +33,11 @@ type Searcher struct {
 // the index pool.
 func (ix *Index) NewSearcher() *Searcher {
 	return &Searcher{
-		ix:    ix,
-		pos:   make([]int, ix.numTopics),
-		seen:  make([]uint32, ix.numItems),
-		query: make([]float64, ix.numTopics),
+		ix:      ix,
+		pos:     make([]int, ix.numTopics),
+		seen:    make([]uint32, ix.numItems),
+		query:   make([]float64, ix.numTopics),
+		query32: make([]float32, ix.numTopics),
 	}
 }
 
@@ -71,12 +73,46 @@ func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]
 	return s.QueryWeights(ts.QueryWeights(u, t), k, exclude)
 }
 
+// QueryApprox is Query with an eps score-gap budget; see
+// Index.QueryApprox for the contract.
+//
+//tcam:hotpath
+func (s *Searcher) QueryApprox(ts model.TopicScorer, u, t, k int, eps float64, exclude Exclude) ([]Result, Stats) {
+	if qw, ok := ts.(model.QueryWeighter); ok {
+		qw.QueryWeightsInto(u, t, s.query)
+		return s.QueryWeightsApprox(s.query, k, eps, exclude)
+	}
+	return s.QueryWeightsApprox(ts.QueryWeights(u, t), k, eps, exclude)
+}
+
 // QueryWeights runs Algorithm 1 for an explicit ϑq vector. The result
 // set and scores match BruteForce exactly (ties broken by ascending
 // item index); the returned slice is valid until the searcher's next
 // query or Release.
 //
-// Two scratch tricks keep the loop allocation- and rescan-free without
+//tcam:hotpath
+func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
+	return s.run(query, k, 0, exclude)
+}
+
+// QueryWeightsApprox runs the eps-budgeted variant of Algorithm 1 for
+// an explicit ϑq vector: the loop may stop while unseen items could
+// still beat the k-th returned score by up to eps, reporting the actual
+// residual gap in Stats.Bound. eps == 0 is bit-identical to
+// QueryWeights; eps must not be negative.
+//
+//tcam:hotpath
+func (s *Searcher) QueryWeightsApprox(query []float64, k int, eps float64, exclude Exclude) ([]Result, Stats) {
+	if eps < 0 {
+		panic("topk: negative epsilon for approximate query")
+	}
+	return s.run(query, k, eps, exclude)
+}
+
+// run is the shared TA core behind the exact and approximate entry
+// points; eps == 0 is the exact algorithm.
+//
+// Scratch tricks keeping the loop allocation- and rescan-free without
 // changing results:
 //
 //   - seen is a stamp table: bumping epoch invalidates every stamp at
@@ -89,8 +125,18 @@ func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]
 //     the loop actually breaks; an inflated running value merely delays
 //     the cheap check and never affects correctness.
 //
+// The float32 fast scan (see DESIGN.md §12): list priorities come from
+// the quantized score32 kernel, and when the result heap is full a
+// popped candidate's screened score — its priority, already computed at
+// push time — is checked against the k-th best under the index's error
+// bound before paying for the exact float64 score. Priorities only
+// steer pop order (TA is correct under any pop order once the exact
+// threshold bound holds), every score that enters the result heap comes
+// from the exact float64 confirm, and the screen bound over-covers the
+// f32 error, so results stay bit-identical to the pure float64 path.
+//
 //tcam:hotpath
-func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
+func (s *Searcher) run(query []float64, k int, eps float64, exclude Exclude) ([]Result, Stats) {
 	ix := s.ix
 	st := Stats{}
 	if k <= 0 {
@@ -106,6 +152,11 @@ func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Resu
 		s.epoch = 1
 	}
 
+	q32 := s.query32
+	for z, w := range query {
+		q32[z] = float32(w)
+	}
+
 	// Cursor position per topic; exhausted or zero-weight lists excluded
 	// from the priority queue and the threshold.
 	pos := s.pos
@@ -114,7 +165,7 @@ func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Resu
 	for z, w := range query {
 		if w > 0 && len(ix.lists[z]) > 0 {
 			pos[z] = 0
-			s.pq.push(listRef{topic: z, priority: ix.Score(query, int(ix.lists[z][0].item))})
+			s.pq.push(listRef{topic: z, priority: float64(ix.score32(q32, int(ix.lists[z][0].item)))})
 			threshold += w * ix.lists[z][0].weight
 		} else {
 			pos[z] = len(ix.lists[z])
@@ -129,12 +180,16 @@ func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Resu
 
 	for len(s.pq) > 0 {
 		// Early termination (Lines 18–21 of Algorithm 1): the k-th
-		// result beats every unseen item's best possible score. Strict
-		// inequality keeps ties exact: an unseen item could equal the
-		// threshold, and the deterministic tie-break might prefer it.
-		if results.Len() == k && results.min().Score > threshold {
-			threshold = ix.threshold(query, pos) // exact confirm (see doc comment)
-			if results.min().Score > threshold {
+		// result beats every unseen item's best possible score (minus
+		// the eps budget in approximate mode). Strict inequality keeps
+		// ties exact: an unseen item could equal the threshold, and the
+		// deterministic tie-break might prefer it.
+		if results.Len() == k && results.min().Score > threshold-eps {
+			threshold = ix.threshold(query, pos) // exact confirm (see above)
+			if results.min().Score > threshold-eps {
+				if gap := threshold - results.min().Score; gap > 0 {
+					st.Bound = gap // approximate stop: residual gap < eps
+				}
 				break
 			}
 		}
@@ -146,8 +201,15 @@ func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Resu
 		if s.seen[item] != s.epoch {
 			s.seen[item] = s.epoch
 			if exclude == nil || !exclude(item) {
-				st.ItemsExamined++
-				results.offer(Result{Item: item, Score: ix.Score(query, item)})
+				// f32 screen: ref.priority is this item's screened score.
+				// Only candidates that could still reach the k-th best
+				// under the error bound pay for the exact f64 score.
+				if results.Len() < k || ref.priority*ix.screenScale+ix.screenEps >= results.min().Score {
+					st.ItemsExamined++
+					results.offer(Result{Item: item, Score: ix.Score(query, item)})
+				} else {
+					st.ScreenedOut++
+				}
 			}
 		}
 		// Advance this list's cursor, fold the head change into the
@@ -157,7 +219,7 @@ func (s *Searcher) QueryWeights(query []float64, k int, exclude Exclude) ([]Resu
 		pos[z]++
 		if pos[z] < len(list) {
 			threshold += w * list[pos[z]].weight
-			ref.priority = ix.Score(query, int(list[pos[z]].item))
+			ref.priority = float64(ix.score32(q32, int(list[pos[z]].item)))
 			s.pq.push(ref)
 		}
 	}

@@ -38,6 +38,16 @@ type Stats struct {
 	ItemsExamined int
 	// ListPops counts entries consumed from the sorted lists (TA only).
 	ListPops int
+	// ScreenedOut counts candidates the float32 screening scan rejected
+	// without an exact float64 confirm (TA only). Screened candidates
+	// are provably below the k-th best at rejection time, so they never
+	// affect results.
+	ScreenedOut int
+	// Bound is only set by the approximate query path: the maximum
+	// amount by which any unreturned item's true score can exceed the
+	// k-th returned score. Exact queries always report 0; an ε-budgeted
+	// QueryApprox reports a value < ε.
+	Bound float64
 }
 
 // Exclude filters candidate items; a nil Exclude admits everything. The
@@ -74,15 +84,29 @@ func BruteForce(r model.Recommender, u, t, k int, exclude Exclude) ([]Result, St
 }
 
 // Index holds the K sorted per-topic item lists of Section 4.2 plus a
-// transposed ϕ table for O(K) full-score evaluation. Building is
-// O(K·V·logV), parallelized across topics; queries are read-only and
-// safe for concurrent use.
+// transposed ϕ table for O(K) full-score evaluation. The table is dual:
+// an exact float64 copy (byItem) answers the confirm step and the
+// threshold bound, and a quantized float32 copy (byItem32) feeds the
+// screening scan that filters candidates at half the memory traffic.
+// Building is O(K·V·logV), parallelized across topics; queries are
+// read-only and safe for concurrent use.
 type Index struct {
 	numTopics int
 	numItems  int
 	lists     [][]entry
 	byItem    []float64 // V×K transposed topic weights: ϕ_zv at [v*K+z]
+	byItem32  []float32 // float32 quantization of byItem, same layout
 	searchers sync.Pool // *Searcher scratch, recycled across queries
+
+	// screenScale and screenEps over-approximate the worst-case error of
+	// the float32 screening dot product: for any item,
+	// trueScore <= float64(score32)·screenScale + screenEps. A candidate
+	// is sent to the exact float64 confirm whenever its screened score
+	// could still reach the current k-th best under this bound, so the
+	// screen can cause extra confirms but never a missed result. See
+	// DESIGN.md §12 for the derivation.
+	screenScale float64
+	screenEps   float64
 }
 
 type entry struct {
@@ -106,6 +130,14 @@ func BuildIndex(ts model.TopicScorer) *Index {
 		numItems:  v,
 		lists:     make([][]entry, k),
 		byItem:    make([]float64, v*k),
+		byItem32:  make([]float32, v*k),
+		// 16× the analytic bound on the f32 screening error — relative
+		// term (K+8)·2⁻²⁰ vs the true ≤(K+8)·2⁻²⁴, absolute slack far
+		// above any subnormal underflow — so the screen is sound with
+		// wide margin and the slack costs only the occasional extra
+		// exact confirm.
+		screenScale: 1 + float64(k+8)*0x1p-20,
+		screenEps:   1e-35,
 	}
 	topics := make([][]float64, k)
 	for z := 0; z < k; z++ {
@@ -134,8 +166,10 @@ func BuildIndex(ts model.TopicScorer) *Index {
 	model.ParallelRanges(v, workers, func(_, lo, hi int) {
 		for item := lo; item < hi; item++ {
 			row := ix.byItem[item*k : (item+1)*k]
+			row32 := ix.byItem32[item*k : (item+1)*k]
 			for z, weights := range topics {
 				row[z] = weights[item]
+				row32[z] = float32(weights[item])
 			}
 		}
 	})
@@ -149,18 +183,27 @@ func (ix *Index) NumTopics() int { return ix.numTopics }
 func (ix *Index) NumItems() int { return ix.numItems }
 
 // Score computes S(u,t,v) = Σ_z ϑ_z·ϕ_zv for a query-weight vector, in
-// O(K) via the transposed table.
+// O(K) via the transposed table. The sum runs over every topic in
+// ascending order through the unrolled dotOrdered kernel; weights and
+// topic masses are non-negative (the Eq. 22 monotone decomposition), so
+// including zero-weight terms adds exact +0s and the value is
+// bit-identical to the historical skip-zeros loop.
 //
 //tcam:hotpath
 func (ix *Index) Score(query []float64, item int) float64 {
-	row := ix.byItem[item*ix.numTopics : (item+1)*ix.numTopics]
-	var s float64
-	for z, w := range query {
-		if w > 0 {
-			s += w * row[z]
-		}
-	}
-	return s
+	k := ix.numTopics
+	return dotOrdered(query, ix.byItem[item*k:(item+1)*k])
+}
+
+// score32 is the float32 screening scorer: the same dot product as
+// Score, read from the quantized table with reassociated float32
+// accumulation. Its value is only valid as a screen under the index's
+// screenScale/screenEps error bound, never as a returned score.
+//
+//tcam:hotpath
+func (ix *Index) score32(query []float32, item int) float32 {
+	k := ix.numTopics
+	return dot32(query, ix.byItem32[item*k:(item+1)*k])
 }
 
 // Query answers the temporal top-k query (u, t) with the extended
@@ -183,6 +226,21 @@ func (ix *Index) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Re
 func (ix *Index) QueryWeights(query []float64, k int, exclude Exclude) ([]Result, Stats) {
 	s := ix.AcquireSearcher()
 	res, st := s.QueryWeights(query, k, exclude)
+	out := cloneResults(res)
+	s.Release()
+	return out, st
+}
+
+// QueryApprox is Query with a latency budget expressed as a score gap:
+// the TA loop stops as soon as no unseen item can beat the current k-th
+// best by eps or more, and Stats.Bound reports the actual residual gap
+// (always < eps). eps == 0 degenerates to the exact algorithm — results
+// and stats are bit-identical to Query. Returned scores are always
+// exact float64 scores; only the guarantee of having found the true
+// top-k is relaxed. Opt-in: nothing on the exact serving path calls it.
+func (ix *Index) QueryApprox(ts model.TopicScorer, u, t, k int, eps float64, exclude Exclude) ([]Result, Stats) {
+	s := ix.AcquireSearcher()
+	res, st := s.QueryApprox(ts, u, t, k, eps, exclude)
 	out := cloneResults(res)
 	s.Release()
 	return out, st

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Runs the serving benchmarks (TA query fast path, index build, batch
-# endpoint) and snapshots the numbers into BENCH_query.json at the repo
-# root. Pass a -benchtime value as $1 to trade precision for runtime
-# (default 1x Go's own).
+# endpoint, HTTP handlers) and snapshots the numbers into
+# BENCH_query.json at the repo root. BenchmarkQueryBatch additionally
+# runs under a GOMAXPROCS 1/2/4/8 sweep (go test -cpu), recorded per
+# setting via the "gomaxprocs" field, so the JSON carries the multi-core
+# scaling curve. Pass a -benchtime value as $1 to trade precision for
+# runtime (default 1s).
 #
 # Usage: scripts/bench_query.sh [benchtime]
 set -eu
@@ -13,16 +16,42 @@ out=BENCH_query.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkTAQuery|BenchmarkBuildIndex|BenchmarkQueryBatch' \
-    -benchmem -benchtime "$benchtime" ./internal/topk/ | tee "$raw"
-go test -run '^$' -bench 'BenchmarkServerRecommend' \
-    -benchmem -benchtime "$benchtime" ./internal/server/ | tee -a "$raw"
+# run_bench <pkg> <bench regex> [extra go test flags...]: one go test
+# invocation appended to $raw, failing loudly when the regex matches no
+# benchmark (a renamed benchmark must not silently vanish from the
+# snapshot).
+run_bench() {
+    pkg=$1
+    pattern=$2
+    shift 2
+    step=$(mktemp)
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+        "$@" "$pkg" | tee "$step"
+    if ! grep -q '^Benchmark' "$step"; then
+        rm -f "$step"
+        echo "bench_query.sh: no benchmarks matched '$pattern' in $pkg" >&2
+        exit 1
+    fi
+    cat "$step" >> "$raw"
+    rm -f "$step"
+}
 
+run_bench ./internal/topk/ 'BenchmarkTAQuery|BenchmarkBuildIndex'
+run_bench ./internal/topk/ 'BenchmarkQueryBatch' -cpu 1,2,4,8
+run_bench ./internal/server/ 'BenchmarkServerRecommend'
+
+# The -N suffix on a benchmark name is the GOMAXPROCS the run used
+# (absent for 1); strip it into the record's "gomaxprocs" field.
 awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
 BEGIN { print "{"; printf "  \"cpus\": %d,\n  \"benchmarks\": [\n", ncpu }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    name = $1
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1) + 0
+        name = substr(name, 1, RSTART - 1)
+    }
+    line = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %d, \"iterations\": %s, \"ns_per_op\": %s", name, procs, $2, $3)
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
         if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)

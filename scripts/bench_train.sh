@@ -1,19 +1,24 @@
 #!/bin/sh
 # Runs the training benchmarks (one full EM iteration for both TCAM
-# variants, plus cuboid construction) and snapshots the numbers into
-# BENCH_train.json at the repo root, in the same schema bench_query.sh
-# uses for BENCH_query.json. The headline metric is cells/s: rated
-# cuboid cells processed per second of EM iteration.
+# variants, serial and sharded-parallel, plus cuboid construction) and
+# snapshots the numbers into BENCH_train.json at the repo root, in the
+# same schema bench_query.sh uses for BENCH_query.json. The headline
+# metric is cells/s: rated cuboid cells processed per second of EM
+# iteration. BenchmarkEMIterationParallel runs under a GOMAXPROCS
+# 1/2/4/8 sweep (go test -cpu), recorded per setting via the
+# "gomaxprocs" field — the multi-core scaling curve.
 #
 # Usage: scripts/bench_train.sh [benchtime]
 #        scripts/bench_train.sh -smoke
 #
 #   benchtime   -benchtime value passed to go test (default 1s)
-#   -smoke      quick regression gate for check.sh: a 3x run written to
-#               a temp file instead of BENCH_train.json, failing if any
-#               BenchmarkEMIteration variant reports a nonzero
-#               allocs/op (the EM hot loop must stay allocation-free at
-#               steady state).
+#   -smoke      quick regression gate for check.sh: a 3x run of the
+#               serial iteration benchmarks only, written to a temp file
+#               instead of BENCH_train.json, failing if any serial
+#               BenchmarkEMIteration variant reports a nonzero allocs/op
+#               (the EM hot loop must stay allocation-free at steady
+#               state; the Parallel variant is exempt — fanning shards
+#               across workers allocates the closure and goroutines).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,20 +33,48 @@ fi
 raw=$(mktemp)
 trap 'rm -f "$raw"; [ "$smoke" = 1 ] && rm -f "$out" || true' EXIT
 
-go test -run '^$' -bench 'BenchmarkEMIteration' \
-    -benchmem -benchtime "$benchtime" \
-    ./internal/model/itcam/ ./internal/model/ttcam/ | tee "$raw"
-go test -run '^$' -bench 'BenchmarkCuboidBuild|BenchmarkScaled|BenchmarkSubset' \
-    -benchmem -benchtime "$benchtime" ./internal/cuboid/ | tee -a "$raw"
+# run_bench <bench regex> <extra flags...> -- <pkgs...>: one go test
+# invocation appended to $raw, failing loudly when the regex matches no
+# benchmark (a renamed benchmark must not silently vanish).
+run_bench() {
+    pattern=$1
+    shift
+    step=$(mktemp)
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+        "$@" | tee "$step"
+    if ! grep -q '^Benchmark' "$step"; then
+        rm -f "$step"
+        echo "bench_train.sh: no benchmarks matched '$pattern'" >&2
+        exit 1
+    fi
+    cat "$step" >> "$raw"
+    rm -f "$step"
+}
+
+run_bench 'BenchmarkEMIteration(Background)?$' \
+    ./internal/model/itcam/ ./internal/model/ttcam/
+if [ "$smoke" = 0 ]; then
+    run_bench 'BenchmarkEMIterationParallel$' -cpu 1,2,4,8 \
+        ./internal/model/itcam/ ./internal/model/ttcam/
+    run_bench 'BenchmarkCuboidBuild|BenchmarkScaled|BenchmarkSubset' \
+        ./internal/cuboid/
+fi
 
 # Both model packages define BenchmarkEMIteration, so qualify each
-# benchmark name with the package the preceding "pkg:" line names.
+# benchmark name with the package the preceding "pkg:" line names. The
+# -N suffix on a benchmark name is the GOMAXPROCS the run used (absent
+# for 1); strip it into the record's "gomaxprocs" field.
 awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
 BEGIN { print "{"; printf "  \"cpus\": %d,\n  \"benchmarks\": [\n", ncpu }
 /^pkg:/ { pkg = $2; sub(/^tcam\//, "", pkg) }
 /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, pkg, $2, $3)
+    name = $1
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1) + 0
+        name = substr(name, 1, RSTART - 1)
+    }
+    line = sprintf("    {\"name\": \"%s\", \"package\": \"%s\", \"gomaxprocs\": %d, \"iterations\": %s, \"ns_per_op\": %s", name, pkg, procs, $2, $3)
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "cells/s")   line = line sprintf(", \"cells_per_sec\": %s", $i)
         if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)

@@ -26,6 +26,10 @@ go vet ./...
 # fail the gate.
 go run ./cmd/tcamvet ./...
 
+# Bounds-check-elimination gate: the unrolled kernel files must compile
+# with zero per-element bounds checks (DESIGN.md §12).
+scripts/check_bce.sh
+
 # The packages where scratch reuse, pooling, snapshot swaps, limiter
 # counters or fault hooks could race, plus the signal-driven lifecycle
 # and the sharded EM training engine.
@@ -42,10 +46,11 @@ if [ "${1:-}" != "-short" ]; then
     go test -tags tcamcheck -count=1 ./internal/model/...
 
     # Allocation gate: the pooled TA searcher must stay allocation-free
-    # at steady state. Parse -benchmem output and reject any benchmark
-    # reporting a nonzero allocs/op.
+    # at steady state — on the exact path, the eps-budgeted approximate
+    # path, and under parallel pool churn. Parse -benchmem output and
+    # reject any benchmark reporting a nonzero allocs/op.
     bench_out=$(go test ./internal/topk -run - \
-        -bench 'BenchmarkTAQuery$|BenchmarkTAQueryParallel$' \
+        -bench 'BenchmarkTAQuery$|BenchmarkTAQueryApprox$|BenchmarkTAQueryParallel$' \
         -benchmem -benchtime 200x -count=1)
     echo "$bench_out"
     if ! echo "$bench_out" | awk '
@@ -58,5 +63,11 @@ if [ "${1:-}" != "-short" ]; then
     # Training allocation gate: the EM iteration benchmarks must stay
     # allocation-free at steady state for both TCAM variants.
     scripts/bench_train.sh -smoke
+
+    # Smoke the sharded-parallel EM iteration benchmark (the GOMAXPROCS
+    # sweep entry point of bench_train.sh) so a refactor can't silently
+    # break it between full bench runs.
+    go test -run '^$' -bench 'BenchmarkEMIterationParallel$' -benchtime 1x \
+        ./internal/model/itcam/ ./internal/model/ttcam/ >/dev/null
 fi
 echo "check.sh: OK"

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Bounds-check-elimination gate for the unrolled kernels (DESIGN.md §12).
+# internal/topk/score.go and internal/train/kernels.go hold only
+# straight-line kernel code in the slice-forward idiom, which the
+# compiler's prove pass strips of every per-element bounds check; this
+# script compiles both packages with -d=ssa/check_bce and fails if the
+# compiler reports a "Found IsInBounds" inside either kernel file. The
+# O(1) reslice checks at loop boundaries show up as IsSliceInBounds and
+# are deliberately allowed — the grep below matches the per-element
+# diagnostic exactly.
+#
+# (go build replays cached compiler diagnostics, so re-runs stay cheap.)
+#
+# Usage: scripts/check_bce.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+diag=$(go build \
+    -gcflags='tcam/internal/topk=-d=ssa/check_bce' \
+    -gcflags='tcam/internal/train=-d=ssa/check_bce' \
+    ./internal/topk/ ./internal/train/ 2>&1) || {
+    echo "$diag" >&2
+    echo "check_bce.sh: go build failed" >&2
+    exit 1
+}
+
+# Sanity check that the diagnostic pass actually ran: a flag typo or a
+# future toolchain change silently emitting nothing must not pass green.
+if ! printf '%s\n' "$diag" | grep -q 'Found Is'; then
+    echo "check_bce.sh: no bounds-check diagnostics emitted; ssa/check_bce inoperative?" >&2
+    exit 1
+fi
+
+bad=$(printf '%s\n' "$diag" | grep 'Found IsInBounds' |
+    grep -E 'internal/topk/score\.go|internal/train/kernels\.go' || true)
+if [ -n "$bad" ]; then
+    echo "check_bce.sh: per-element bounds checks survive in kernel files:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "check_bce.sh: OK (kernel files free of per-element bounds checks)"
