@@ -1,35 +1,55 @@
 // Command tcamvet runs the repo's static-analysis suite: hotpath
-// (//tcam:hotpath functions stay allocation-free), floatcmp (no
-// floating-point ==/!=), globalrand (seeded randomness only), panicfmt
-// (constant pkg:-prefixed panic messages) and errcheck (no silently
-// dropped errors in cmd/ and internal/).
+// (//tcam:hotpath functions stay allocation-free), hotpathstrict (and
+// avoid defer, interface dispatch, constant-exponent math.Pow and
+// string copies), floatcmp (no floating-point ==/!=), globalrand
+// (seeded randomness only), panicfmt (constant pkg:-prefixed panic
+// messages), errcheck (no silently dropped errors in cmd/ and
+// internal/), maprange (map iteration order must not leak into
+// output), goroutines (go statements in internal/ are join-accounted)
+// and ctxflow (received contexts propagate through the serving and
+// training packages).
 //
 // Usage:
 //
 //	go run ./cmd/tcamvet ./...
 //	go run ./cmd/tcamvet -checks hotpath,floatcmp ./internal/topk
+//	go run ./cmd/tcamvet -json ./...
 //
-// Findings print as file:line:col: check: message and make the exit
-// status 1; load or type-check failures exit 2. Suppress a single
-// finding with `//tcamvet:ignore <check> <justification>` on or above
-// the offending line.
+// Findings print as file:line:col: check: message — or, with -json, as
+// a JSON array of {file, line, col, check, message} objects for CI
+// tooling — and make the exit status 1; load or type-check failures
+// exit 2. Suppress a single finding with `//tcamvet:ignore <check>
+// <justification>` on or above the offending line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tcam/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+// jsonDiagnostic is the machine-readable shape of one finding, stable
+// for CI consumers.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("tcamvet", flag.ContinueOnError)
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,8 +83,27 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonFlag {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			_, _ = fmt.Fprintln(stdout, d) // best-effort CLI output, like fmt.Println before it
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tcamvet: %d finding(s)\n", len(diags))

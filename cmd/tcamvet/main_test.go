@@ -1,27 +1,67 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
 
 func TestRunCleanPackage(t *testing.T) {
-	if got := run([]string{"-checks", "floatcmp", "../../internal/mat"}); got != 0 {
+	if got := run([]string{"-checks", "floatcmp", "../../internal/mat"}, io.Discard); got != 0 {
 		t.Fatalf("run on clean package = %d, want 0", got)
 	}
 }
 
 func TestRunFindingsExitOne(t *testing.T) {
-	if got := run([]string{"-checks", "floatcmp", "../../internal/analysis/testdata/src/floatcmp"}); got != 1 {
+	if got := run([]string{"-checks", "floatcmp", "../../internal/analysis/testdata/src/floatcmp"}, io.Discard); got != 1 {
 		t.Fatalf("run on fixture = %d, want 1", got)
 	}
 }
 
 func TestRunUnknownCheck(t *testing.T) {
-	if got := run([]string{"-checks", "nosuchcheck", "."}); got != 2 {
+	if got := run([]string{"-checks", "nosuchcheck", "."}, io.Discard); got != 2 {
 		t.Fatalf("run with unknown check = %d, want 2", got)
 	}
 }
 
 func TestRunBadPattern(t *testing.T) {
-	if got := run([]string{"./no/such/dir"}); got != 2 {
+	if got := run([]string{"./no/such/dir"}, io.Discard); got != 2 {
 		t.Fatalf("run with missing dir = %d, want 2", got)
+	}
+}
+
+// TestRunJSONFindings pins the machine-readable output contract the CI
+// gate parses: a JSON array of {file, line, col, check, message}, exit
+// status 1 when findings exist.
+func TestRunJSONFindings(t *testing.T) {
+	var buf bytes.Buffer
+	got := run([]string{"-json", "-checks", "floatcmp", "../../internal/analysis/testdata/src/floatcmp"}, &buf)
+	if got != 1 {
+		t.Fatalf("run -json on fixture = %d, want 1", got)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, buf.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output has no findings for the floatcmp fixture")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Check != "floatcmp" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestRunJSONClean pins the zero-findings shape: an empty array, not
+// null, so `jq length`-style consumers need no special case.
+func TestRunJSONClean(t *testing.T) {
+	var buf bytes.Buffer
+	if got := run([]string{"-json", "-checks", "floatcmp", "../../internal/mat"}, &buf); got != 0 {
+		t.Fatalf("run -json on clean package = %d, want 0", got)
+	}
+	if s := string(bytes.TrimSpace(buf.Bytes())); s != "[]" {
+		t.Fatalf("clean -json output = %q, want []", s)
 	}
 }

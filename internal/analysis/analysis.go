@@ -14,6 +14,17 @@
 //     "pkg:"-prefixed message.
 //   - errcheck: no error return is silently dropped in cmd/ or internal/
 //     (a visible `_ =` discard is allowed).
+//   - hotpathstrict: //tcam:hotpath functions additionally avoid defer,
+//     interface dispatch, constant-exponent math.Pow and string ⇄ []byte
+//     copies.
+//   - maprange: map iteration in cmd/ and internal/ must not leak its
+//     nondeterministic order into output (slices, writers, float
+//     accumulators, channels); collect-then-sort passes.
+//   - goroutines: every go statement in internal/ is join-accounted
+//     (WaitGroup/channel in the same function, or //tcam:spawner).
+//   - ctxflow: in the serving and training packages, a function that
+//     receives a context must not mint context.Background()/TODO() and
+//     must prefer a sibling's …Context variant when one exists.
 //
 // The driver is pure stdlib: packages are discovered by walking
 // directories, parsed with go/parser and type-checked with go/types,
@@ -53,7 +64,10 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{HotPath, FloatCmp, GlobalRand, PanicFmt, ErrCheck}
+var All = []*Analyzer{
+	HotPath, HotPathStrict, FloatCmp, GlobalRand, PanicFmt, ErrCheck,
+	MapRange, Goroutines, CtxFlow,
+}
 
 // ByName returns the analyzers matching the comma-separated list, or All
 // when the list is empty. Unknown names are an error.

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow keeps the PR 3 cancellation path unbroken end to end in the
+// request-handling packages (internal/server, internal/client,
+// internal/topk, internal/train). Inside a function that receives a
+// context.Context:
+//
+//   - context.Background() and context.TODO() are forbidden — minting a
+//     fresh root silently detaches the callee from the caller's
+//     deadline and cancel signal;
+//   - calling a sibling (same package) function or method that has a
+//     `…Context` variant without passing any context is forbidden —
+//     the context-blind spelling severs propagation exactly where the
+//     package went to the trouble of offering a context-aware one.
+//
+// Detached work that must survive the request (audit logs, background
+// publication) needs a justified //tcamvet:ignore ctxflow directive.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-receiving functions must propagate their context",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowPackages are the module-relative packages under the contract:
+// the serving/query path and the long-running training engine.
+var ctxFlowPackages = []string{
+	"/internal/server",
+	"/internal/client",
+	"/internal/topk",
+	"/internal/train",
+}
+
+func ctxFlowApplies(p *Pkg) bool {
+	for _, suffix := range ctxFlowPackages {
+		if p.Path == p.Module+suffix {
+			return true
+		}
+	}
+	// The analyzer's own fixture package.
+	return strings.HasSuffix(p.Path, "/testdata/src/ctxflow")
+}
+
+func runCtxFlow(p *Pkg) []Diagnostic {
+	if !ctxFlowApplies(p) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !receivesContext(p, fd) {
+				continue
+			}
+			diags = append(diags, checkCtxFlowFunc(p, fd)...)
+		}
+	}
+	return diags
+}
+
+// receivesContext reports whether any parameter of fd has type
+// context.Context.
+func receivesContext(p *Pkg, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxFlowFunc(p *Pkg, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgFunc(p, call, "context", "Background") || pkgFunc(p, call, "context", "TODO") {
+			diags = append(diags, diag(p, call.Pos(), "ctxflow",
+				"%s receives a context but mints a fresh root here; pass the caller's context instead", name))
+			return true
+		}
+		if variant, callee := contextVariant(p, call); variant != nil && !passesContext(p, call) {
+			diags = append(diags, diag(p, call.Pos(), "ctxflow",
+				"%s receives a context but calls %s without one; use %s", name, callee, variant.Name()))
+		}
+		return true
+	})
+	return diags
+}
+
+// contextVariant resolves the call's callee and, when it is a function
+// or method of this package with a sibling named <name>Context that
+// itself accepts a context, returns that sibling and a printable callee
+// name.
+func contextVariant(p *Pkg, call *ast.CallExpr) (*types.Func, string) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() != p.Types || strings.HasSuffix(fn.Name(), "Context") {
+		return nil, ""
+	}
+	want := fn.Name() + "Context"
+	sig := fn.Type().(*types.Signature)
+	var variant *types.Func
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, p.Types, want)
+		variant, _ = obj.(*types.Func)
+	} else if obj := p.Types.Scope().Lookup(want); obj != nil {
+		variant, _ = obj.(*types.Func)
+	}
+	if variant == nil || !acceptsContext(variant) {
+		return nil, ""
+	}
+	return variant, calleeName(call)
+}
+
+// acceptsContext reports whether fn has a context.Context parameter.
+func acceptsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// passesContext reports whether any argument of the call is a
+// context.Context (the callee may thread it however it likes).
+func passesContext(p *Pkg, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextType(p.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

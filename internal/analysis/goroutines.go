@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroutines requires every `go` statement in internal/ packages to be
+// join-accounted. A goroutine whose completion nothing waits for is
+// both a leak (it can outlive the work it belongs to) and a
+// nondeterminism hazard (its side effects race the caller's). A go
+// statement passes when its enclosing function either
+//
+//   - also waits on a sync.WaitGroup or receives from a channel
+//     (including `range ch` and select), so the spawn is part of a
+//     visible fork/join structure, or
+//   - is annotated //tcam:spawner, the opt-in for server and lifecycle
+//     code whose goroutines are joined elsewhere (Shutdown, drain).
+//
+// Anything else is a finding.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc:  "go statements in internal/ must be join-accounted or //tcam:spawner-annotated",
+	Run:  runGoroutines,
+}
+
+const spawnerDirective = "//tcam:spawner"
+
+func runGoroutines(p *Pkg) []Diagnostic {
+	if !strings.HasPrefix(p.Path, p.Module+"/internal/") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isSpawner(fd) {
+				continue
+			}
+			spawns := goStatements(fd.Body)
+			if len(spawns) == 0 || hasJoinEvidence(p, fd.Body) {
+				continue
+			}
+			for _, g := range spawns {
+				diags = append(diags, diag(p, g.Pos(), "goroutines",
+					"%s: fire-and-forget goroutine; join it (WaitGroup/channel) or annotate the function //tcam:spawner",
+					fd.Name.Name))
+			}
+		}
+	}
+	return diags
+}
+
+// isSpawner reports whether the function's doc comment carries the
+// //tcam:spawner directive.
+func isSpawner(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == spawnerDirective || strings.HasPrefix(c.Text, spawnerDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// goStatements collects every go statement in the body, including ones
+// nested in closures (the join evidence is looked for in the same
+// declaration either way).
+func goStatements(body *ast.BlockStmt) []*ast.GoStmt {
+	var spawns []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+	return spawns
+}
+
+// hasJoinEvidence reports whether the body contains a fork/join
+// counterpart for its go statements: a WaitGroup.Wait call, a channel
+// receive, a range over a channel, or a select statement.
+func hasJoinEvidence(p *Pkg, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Wait" && isWaitGroup(p.Info.TypeOf(sel.X)) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports whether t (possibly behind a pointer) is
+// sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"math"
+)
+
+// HotPathStrict tightens the //tcam:hotpath contract beyond
+// allocation-freedom. The base hotpath check keeps annotated functions
+// out of the allocator; this one keeps them out of the slow paths the
+// allocator check cannot see:
+//
+//   - no defer — a deferred call costs a frame record on every
+//     invocation and pushes work past the hot region's end;
+//   - no method calls through interface-typed values — dynamic dispatch
+//     blocks inlining and the prove pass, and non-devirtualizable call
+//     sites resist every downstream optimization;
+//   - no math.Pow with a constant integer exponent — x*x beats the
+//     transcendental implementation by two orders of magnitude;
+//   - no string ⇄ []byte/[]rune conversions — each one copies, and the
+//     copy allocates (interface boxing is the base check's job).
+//
+// A hit that is intentional (e.g. a devirtualized-in-practice
+// interface) needs a justified //tcamvet:ignore hotpathstrict.
+var HotPathStrict = &Analyzer{
+	Name: "hotpathstrict",
+	Doc:  "//tcam:hotpath functions avoid defer, interface dispatch, constant-exponent math.Pow and string copies",
+	Run:  runHotPathStrict,
+}
+
+func runHotPathStrict(p *Pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			diags = append(diags, checkHotPathStrictFunc(p, fd)...)
+		}
+	}
+	return diags
+}
+
+func checkHotPathStrictFunc(p *Pkg, fd *ast.FuncDecl) []Diagnostic {
+	name := fd.Name.Name
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, diag(p, n.Pos(), "hotpathstrict", format, args...))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			report(n, "%s: defer in a hot path; restructure so cleanup runs inline", name)
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "panic") {
+				return false // error path: never returns, cost irrelevant
+			}
+			if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+				if len(n.Args) == 1 && copyingConversion(p, tv.Type, n.Args[0]) {
+					report(n, "%s: string conversion copies in a hot path", name)
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if s, isSel := p.Info.Selections[sel]; isSel &&
+					s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+					report(n, "%s: method call through interface value %s.%s; use the concrete type",
+						name, exprString(sel.X), sel.Sel.Name)
+				}
+			}
+			if pkgFunc(p, n, "math", "Pow") && len(n.Args) == 2 {
+				if exp, ok := constIntegerExponent(p, n.Args[1]); ok {
+					report(n, "%s: math.Pow with constant exponent %g; unroll to multiplications", name, exp)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// copyingConversion reports conversions between string and byte/rune
+// slices, each of which copies its operand.
+func copyingConversion(p *Pkg, dst types.Type, src ast.Expr) bool {
+	st := p.Info.TypeOf(src)
+	if st == nil {
+		return false
+	}
+	// Constant string operands convert at compile time for
+	// []byte("lit")-style initialization; still a copy at runtime, so
+	// no exemption.
+	return (isString(dst) && isByteOrRuneSlice(st)) ||
+		(isByteOrRuneSlice(dst) && isString(st))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// constIntegerExponent reports whether e is a compile-time constant
+// whose value is a (small) integer, the pattern x*x should replace.
+func constIntegerExponent(p *Pkg, e ast.Expr) (float64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	//tcamvet:ignore floatcmp integrality test on a compile-time constant is exact
+	if !ok || v != math.Trunc(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// exprString renders a short receiver expression for the message.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "value"
+	}
+}

@@ -194,9 +194,11 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // ExpandPatterns resolves command-line package patterns into package
 // directories. A pattern is either a directory or a directory followed
-// by "/..." for a recursive walk. Walks skip testdata, vendor and
-// hidden/underscore directories, and keep only directories containing at
-// least one buildable non-test .go file.
+// by "/..." for a recursive walk. Walks skip testdata, vendor,
+// hidden/underscore directories and nested modules (a subdirectory with
+// its own go.mod belongs to another module, exactly as `go ./...`
+// treats it), and keep only directories containing at least one
+// buildable non-test .go file.
 func ExpandPatterns(patterns []string) ([]string, error) {
 	var dirs []string
 	seen := make(map[string]bool)
@@ -224,6 +226,11 @@ func ExpandPatterns(patterns []string) ([]string, error) {
 				if path != root && (name == "testdata" || name == "vendor" ||
 					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 					return fs.SkipDir
+				}
+				if path != root {
+					if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+						return fs.SkipDir // nested module boundary
+					}
 				}
 				if hasGoFiles(path) {
 					add(path)

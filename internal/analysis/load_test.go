@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile creates path (and its parents) with the given contents.
+func writeFile(t *testing.T, path, contents string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpandPatternsNoGoFilesDirect: naming a directory without
+// buildable Go files directly is an error, matching the go tool's "no
+// Go files in ..." behavior.
+func TestExpandPatternsNoGoFilesDirect(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "README.md"), "no go here\n")
+	if _, err := ExpandPatterns([]string{dir}); err == nil {
+		t.Fatalf("ExpandPatterns(%q) succeeded on a Go-less directory", dir)
+	}
+}
+
+// TestExpandPatternsNoGoFilesRecursive: a recursive walk over a tree
+// without Go files is not an error — it just resolves to nothing.
+func TestExpandPatternsNoGoFilesRecursive(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "docs", "README.md"), "still no go\n")
+	dirs, err := ExpandPatterns([]string{dir + "/..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns recursive: %v", err)
+	}
+	if len(dirs) != 0 {
+		t.Fatalf("ExpandPatterns resolved %v, want no directories", dirs)
+	}
+}
+
+// TestExpandPatternsSkipsNestedModule: a subdirectory with its own
+// go.mod is another module's territory; the walk must not cross the
+// boundary (go's ./... behaves the same way).
+func TestExpandPatternsSkipsNestedModule(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module outer\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "a", "a.go"), "package a\n")
+	writeFile(t, filepath.Join(root, "sub", "go.mod"), "module inner\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "sub", "b.go"), "package b\n")
+	dirs, err := ExpandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "a")}
+	if len(dirs) != 1 || dirs[0] != want[0] {
+		t.Fatalf("ExpandPatterns = %v, want %v", dirs, want)
+	}
+}
+
+// TestExpandPatternsRootModuleNotSkipped: only *nested* go.mod files
+// stop the walk — the pattern root itself is of course a module root.
+func TestExpandPatternsRootModuleNotSkipped(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module rooted\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "a.go"), "package rooted\n")
+	dirs, err := ExpandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != root {
+		t.Fatalf("ExpandPatterns = %v, want [%s]", dirs, root)
+	}
+}
+
+// TestLoadDirOutsideModule: a directory outside the loader's module
+// root has no import path under the module and must be rejected.
+func TestLoadDirOutsideModule(t *testing.T) {
+	moduleDir, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(t.TempDir()); err == nil {
+		t.Fatal("LoadDir accepted a directory outside the module")
+	}
+}
+
+// TestLoadImportOutsideModule: a package importing a path that is
+// neither standard library nor module-local cannot be resolved (the
+// loader has no module cache) and must fail loudly rather than
+// type-check against a phantom package.
+func TestLoadImportOutsideModule(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module external\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "p", "p.go"),
+		"package p\n\nimport \"example.com/not/in/module\"\n\nvar _ = notinmodule.X\n")
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(root, "p")); err == nil {
+		t.Fatal("LoadDir type-checked a package importing outside the module")
+	}
+}
+
+// TestLoaderModuleLocalImport: module-local imports resolve from source
+// across package directories within the same loader.
+func TestLoaderModuleLocalImport(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module local\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "lib", "lib.go"),
+		"package lib\n\n// V is exported for the importer below.\nvar V = 1\n")
+	writeFile(t, filepath.Join(root, "app", "app.go"),
+		"package app\n\nimport \"local/lib\"\n\nvar _ = lib.V\n")
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(filepath.Join(root, "app"))
+	if err != nil {
+		t.Fatalf("LoadDir with module-local import: %v", err)
+	}
+	if p.Path != "local/app" {
+		t.Fatalf("import path = %q, want local/app", p.Path)
+	}
+}
+
+// TestFindModuleRootFails: FindModuleRoot above a go.mod-less tree
+// reports an error naming the start directory.
+func TestFindModuleRootFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := FindModuleRoot(dir); err == nil {
+		t.Fatal("FindModuleRoot found a module above a temp dir")
+	} else if !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange guards the repo's bit-identity invariant against Go's
+// randomized map iteration order. A `for … range m` over a map in cmd/
+// or internal/ is flagged whenever its body can leak the iteration
+// order into observable output:
+//
+//   - appending to a slice — unless every appended slice is sorted in a
+//     statement after the loop (the collect-then-sort idiom),
+//   - writing to a file, response or any other writer (the fmt print
+//     family, Write*/Encode method calls),
+//   - accumulating floating-point values (float addition is not
+//     associative, so the sum depends on visit order),
+//   - sending on a channel.
+//
+// Loops that only build another map or set, delete keys, or bump
+// integer counters are order-independent and pass. A loop that
+// intentionally tolerates nondeterminism needs a justified
+// //tcamvet:ignore maprange directive.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration must not leak its nondeterministic order into output",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pkg) []Diagnostic {
+	if !mapRangeApplies(p) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Range statements only occur inside statement lists; visiting
+			// the lists (rather than the RangeStmt directly) keeps the
+			// trailing statements in hand for the sorted-after exemption.
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+					continue
+				}
+				diags = append(diags, checkMapRange(p, rs, list[i+1:])...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// mapRangeApplies scopes the check to the module root, cmd/ and
+// internal/ trees; examples are demo code and exempt.
+func mapRangeApplies(p *Pkg) bool {
+	return p.Path == p.Module ||
+		strings.HasPrefix(p.Path, p.Module+"/cmd/") ||
+		strings.HasPrefix(p.Path, p.Module+"/internal/")
+}
+
+// mapRangeLeak is one order-leaking operation found in a loop body.
+type mapRangeLeak struct {
+	pos    token.Pos
+	reason string
+	// appendTo is the object the leak appends to, when the leak is an
+	// append with a resolvable target; nil for every other leak kind.
+	appendTo types.Object
+}
+
+// checkMapRange classifies one map-range loop. after holds the
+// statements following the loop in its enclosing block, consulted for
+// the collect-then-sort exemption.
+func checkMapRange(p *Pkg, rs *ast.RangeStmt, after []ast.Stmt) []Diagnostic {
+	leaks := collectMapRangeLeaks(p, rs.Body)
+	if len(leaks) == 0 {
+		return nil
+	}
+	// Collect-then-sort: every leak is an append to a known slice, and
+	// each such slice is deterministically sorted after the loop.
+	allSorted := true
+	for _, l := range leaks {
+		if l.appendTo == nil || !sortedAfter(p, l.appendTo, after) {
+			allSorted = false
+			break
+		}
+	}
+	if allSorted {
+		return nil
+	}
+	reasons := make([]string, 0, 2)
+	seen := make(map[string]bool)
+	for _, l := range leaks {
+		if !seen[l.reason] {
+			seen[l.reason] = true
+			reasons = append(reasons, l.reason)
+		}
+	}
+	return []Diagnostic{diag(p, rs.For, "maprange",
+		"map iteration order leaks into output (%s); collect and sort keys first, or justify with //tcamvet:ignore maprange",
+		strings.Join(reasons, ", "))}
+}
+
+// collectMapRangeLeaks walks a loop body for order-leaking operations.
+func collectMapRangeLeaks(p *Pkg, body *ast.BlockStmt) []mapRangeLeak {
+	var leaks []mapRangeLeak
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "append") {
+				var target types.Object
+				if len(n.Args) > 0 {
+					target = rootObject(p, n.Args[0])
+				}
+				leaks = append(leaks, mapRangeLeak{
+					pos: n.Pos(), reason: "appends to a slice", appendTo: target,
+				})
+				return true
+			}
+			if isWriteCall(p, n) {
+				leaks = append(leaks, mapRangeLeak{pos: n.Pos(), reason: "writes output"})
+			}
+		case *ast.SendStmt:
+			leaks = append(leaks, mapRangeLeak{pos: n.Pos(), reason: "sends on a channel"})
+		case *ast.AssignStmt:
+			if accumulates(p, n, isFloat) {
+				leaks = append(leaks, mapRangeLeak{pos: n.Pos(), reason: "accumulates floats"})
+			} else if accumulates(p, n, isString) {
+				leaks = append(leaks, mapRangeLeak{pos: n.Pos(), reason: "builds a string"})
+			}
+		}
+		return true
+	})
+	return leaks
+}
+
+// isWriteCall reports calls that emit bytes in visit order: the fmt
+// print family targeting a writer, and Write*/Encode/Print* methods.
+func isWriteCall(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selectorPkgPath(p, sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false // Sprint* is pure: leaking is the consumer's act
+	}
+	if _, isMethod := p.Info.Selections[sel]; !isMethod {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+		"Encode", "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+// accumulates reports order-sensitive updates of a type matched by
+// kind (floats: rounding depends on order; strings: the built text
+// does): compound assignment (x += v and friends) and the spelled-out
+// x = x + v.
+func accumulates(p *Pkg, as *ast.AssignStmt, kind func(types.Type) bool) bool {
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	lhs := as.Lhs[0]
+	if !kind(p.Info.TypeOf(lhs)) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		obj := rootObject(p, lhs)
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// sortedAfter reports whether obj (a collected slice) is passed to a
+// recognized deterministic sort in one of the statements after the
+// loop.
+func sortedAfter(p *Pkg, obj types.Object, after []ast.Stmt) bool {
+	for _, s := range after {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok || !isSortCall(p, call) {
+			continue
+		}
+		if len(call.Args) > 0 && rootObject(p, call.Args[0]) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes the deterministic stdlib sort entry points.
+func isSortCall(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch selectorPkgPath(p, sel) {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Sort", "Stable", "Slice", "SliceStable",
+			"Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject resolves the base object an expression is derived from,
+// unwrapping selectors, indexing, slicing, dereferences and
+// single-argument wrappers (conversions, sort.Interface adapters).
+func rootObject(p *Pkg, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) != 1 {
+				return nil
+			}
+			e = x.Args[0]
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

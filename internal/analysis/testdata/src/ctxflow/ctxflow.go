@@ -1,0 +1,56 @@
+// Package ctxflow exercises the context-propagation check (the package
+// is named in the analyzer's fixture scope).
+package ctxflow
+
+import "context"
+
+type store struct{}
+
+func (s *store) Lookup(key string) int                             { return len(key) }
+func (s *store) LookupContext(ctx context.Context, key string) int { return len(key) }
+
+func query(key string) int                             { return len(key) }
+func queryContext(ctx context.Context, key string) int { return len(key) }
+
+func plain(key string) int { return len(key) }
+
+// Detached mints fresh roots despite receiving a context.
+func Detached(ctx context.Context) {
+	_ = context.Background() // want ctxflow
+	_ = context.TODO()       // want ctxflow
+}
+
+// Severed calls the context-blind siblings even though …Context
+// variants exist.
+func Severed(ctx context.Context, s *store) int {
+	a := query("k")    // want ctxflow
+	b := s.Lookup("k") // want ctxflow
+	return a + b
+}
+
+// Threaded passes the received context everywhere.
+func Threaded(ctx context.Context, s *store) int {
+	a := queryContext(ctx, "k")
+	b := s.LookupContext(ctx, "k")
+	return a + plain("k") + b
+}
+
+// Derived contexts are fine: WithTimeout/WithCancel build on the
+// caller's context rather than replacing it.
+func Derived(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	cancel()
+	return c
+}
+
+// NoContext has no context parameter, so the contract does not apply;
+// calling the blind variant here is legal.
+func NoContext(s *store) int {
+	return query("k") + s.Lookup("k")
+}
+
+// Justified documents intentionally detached background work.
+func Justified(ctx context.Context) int {
+	//tcamvet:ignore ctxflow fixture: audit write must outlive request
+	return query("k")
+}

@@ -1,0 +1,82 @@
+// Package goroutines exercises the join-accounting check. The fixture
+// lives under internal/, so the check applies to it.
+package goroutines
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// FireAndForget spawns with no join anywhere in the function.
+func FireAndForget() {
+	go work(1) // want goroutines
+}
+
+// FireAndForgetClosure hides the spawn in a closure; still unjoined.
+func FireAndForgetClosure() {
+	f := func() {
+		go work(2) // want goroutines
+	}
+	f()
+}
+
+// WaitGroupJoin is the canonical fork/join shape.
+func WaitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ChannelJoin collects one result per spawn through a channel.
+func ChannelJoin(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- work(i) }(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+// RangeJoin drains a channel with range, which is also a join.
+func RangeJoin(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- work(i) }(i)
+	}
+	close(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// SelectJoin waits through a select statement.
+func SelectJoin(done chan struct{}) {
+	go func() { close(done) }()
+	select {
+	case <-done:
+	}
+}
+
+// Spawner is lifecycle code whose goroutine is joined elsewhere
+// (e.g. by a Shutdown method); the annotation opts it out.
+//
+//tcam:spawner background loop joined by Stop
+func Spawner() {
+	go work(4)
+}
+
+// Justified spawns without a join but documents why.
+func Justified() {
+	//tcamvet:ignore goroutines fixture: process-lifetime daemon
+	go work(3)
+}

@@ -1,0 +1,97 @@
+// Package hotpathstrict exercises the strict hot-path check. Only
+// functions annotated //tcam:hotpath are in scope.
+package hotpathstrict
+
+import (
+	"math"
+	"sync"
+)
+
+type scorer interface{ Score(i int) float64 }
+
+type table struct{ w []float64 }
+
+func (t *table) Score(i int) float64 { return t.w[i] }
+
+// DeferInHotPath pays a defer frame on every call.
+//
+//tcam:hotpath
+func DeferInHotPath(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock() // want hotpathstrict
+}
+
+// InterfaceDispatch scores through an interface value.
+//
+//tcam:hotpath
+func InterfaceDispatch(s scorer, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += s.Score(i) // want hotpathstrict
+	}
+	return total
+}
+
+// ConcreteDispatch devirtualizes statically: the receiver is concrete.
+//
+//tcam:hotpath
+func ConcreteDispatch(t *table, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += t.Score(i)
+	}
+	return total
+}
+
+// ConstPow squares with the transcendental pow.
+//
+//tcam:hotpath
+func ConstPow(x float64) float64 {
+	return math.Pow(x, 2) // want hotpathstrict
+}
+
+// VariablePow is legitimate: the exponent is data.
+//
+//tcam:hotpath
+func VariablePow(x, y float64) float64 {
+	return math.Pow(x, y)
+}
+
+// FractionalPow is legitimate: no multiplication chain computes x^0.5.
+//
+//tcam:hotpath
+func FractionalPow(x float64) float64 {
+	return math.Pow(x, 0.5)
+}
+
+// StringCopy converts between string and []byte, copying every call.
+//
+//tcam:hotpath
+func StringCopy(key []byte, buf []byte) int {
+	s := string(key) // want hotpathstrict
+	return len(s) + len(buf)
+}
+
+// ByteCopy converts the other direction.
+//
+//tcam:hotpath
+func ByteCopy(key string) int {
+	b := []byte(key) // want hotpathstrict
+	return len(b)
+}
+
+// ColdPath is unannotated: the strict rules do not apply.
+func ColdPath(mu *sync.Mutex, s scorer, x float64) float64 {
+	mu.Lock()
+	defer mu.Unlock()
+	_ = []byte("cold")
+	return math.Pow(x, 2) + s.Score(0)
+}
+
+// Justified keeps an interface call with an explicit justification.
+//
+//tcam:hotpath
+func Justified(s scorer) float64 {
+	//tcamvet:ignore hotpathstrict fixture: single concrete impl, devirtualized in practice
+	return s.Score(0)
+}

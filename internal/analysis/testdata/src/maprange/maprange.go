@@ -1,0 +1,118 @@
+// Package maprange exercises the map-iteration-order check. The
+// fixture lives under internal/, so the check applies to it.
+package maprange
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// CollectUnsorted appends map keys without sorting: the slice order is
+// whatever the runtime's iteration produced.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectSortSlice sorts with sort.Slice instead of sort.Strings.
+func CollectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// WriteEntries prints in iteration order.
+func WriteEntries(m map[string]int) {
+	for k, v := range m { // want maprange
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, v)
+	}
+}
+
+// SumFloats accumulates float64 values, so the rounding depends on
+// visit order.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want maprange
+		sum += v
+	}
+	return sum
+}
+
+// SumFloatsSpelledOut writes the accumulation as x = x + v.
+func SumFloatsSpelledOut(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want maprange
+		sum = sum + v
+	}
+	return sum
+}
+
+// BuildString concatenates in iteration order.
+func BuildString(m map[string]int) string {
+	s := ""
+	for k := range m { // want maprange
+		s += k
+	}
+	return s
+}
+
+// SendKeys leaks order through a channel.
+func SendKeys(m map[string]int, ch chan string) {
+	for k := range m { // want maprange
+		ch <- k
+	}
+}
+
+// BuildSet only constructs another map: order-independent.
+func BuildSet(m map[string]int) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+// CountEntries bumps an integer counter: integer addition commutes.
+func CountEntries(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DeleteNegatives mutates the map itself, which is order-independent.
+func DeleteNegatives(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Justified documents an intentional nondeterministic drain.
+func Justified(m map[string]int, ch chan string) {
+	//tcamvet:ignore maprange fixture: consumer explicitly order-agnostic
+	for k := range m {
+		ch <- k
+	}
+}

@@ -193,7 +193,15 @@ func sortedMethods(curves map[string]eval.Curve) []string {
 	for name := range curves {
 		names = append(names, name)
 	}
-	sort.Slice(names, func(a, b int) bool { return order[names[a]] < order[names[b]] })
+	// Tie-break by name: methods outside the presentation order (all
+	// mapping to rank 0) would otherwise keep their map-iteration
+	// permutation — sort.Slice leaves tied elements in input order.
+	sort.Slice(names, func(a, b int) bool {
+		if order[names[a]] != order[names[b]] {
+			return order[names[a]] < order[names[b]]
+		}
+		return names[a] < names[b]
+	})
 	return names
 }
 

@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"tcam/internal/cuboid"
@@ -470,11 +471,21 @@ func (m *Model) FitNewInterval(ratings map[int]float64, iters int) []float64 {
 	if len(ratings) == 0 || iters <= 0 {
 		return thetaNew
 	}
+	// Accumulate in ascending item order, not map order: float addition
+	// is not associative, so iterating the map directly would make the
+	// fitted θ' bits depend on the runtime's randomized iteration and
+	// break fold-in bit-identity across runs.
+	items := make([]int, 0, len(ratings))
+	for v := range ratings {
+		items = append(items, v)
+	}
+	sort.Ints(items)
 	acc := make([]float64, k2)
 	px := make([]float64, k2)
 	for it := 0; it < iters; it++ {
 		train.Zero(acc)
-		for v, w := range ratings {
+		for _, v := range items {
+			w := ratings[v]
 			if v < 0 || v >= V || w <= 0 {
 				continue
 			}

@@ -67,9 +67,11 @@ func (s *Searcher) Release() { s.ix.searchers.Put(s) }
 //tcam:hotpath
 func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]Result, Stats) {
 	if qw, ok := ts.(model.QueryWeighter); ok {
+		//tcamvet:ignore hotpathstrict one dispatch per query, outside the item loop; scorer is polymorphic by design
 		qw.QueryWeightsInto(u, t, s.query)
 		return s.QueryWeights(s.query, k, exclude)
 	}
+	//tcamvet:ignore hotpathstrict cold fallback for scorers without the Into fast path
 	return s.QueryWeights(ts.QueryWeights(u, t), k, exclude)
 }
 
@@ -79,9 +81,11 @@ func (s *Searcher) Query(ts model.TopicScorer, u, t, k int, exclude Exclude) ([]
 //tcam:hotpath
 func (s *Searcher) QueryApprox(ts model.TopicScorer, u, t, k int, eps float64, exclude Exclude) ([]Result, Stats) {
 	if qw, ok := ts.(model.QueryWeighter); ok {
+		//tcamvet:ignore hotpathstrict one dispatch per query, outside the item loop; scorer is polymorphic by design
 		qw.QueryWeightsInto(u, t, s.query)
 		return s.QueryWeightsApprox(s.query, k, eps, exclude)
 	}
+	//tcamvet:ignore hotpathstrict cold fallback for scorers without the Into fast path
 	return s.QueryWeightsApprox(ts.QueryWeights(u, t), k, eps, exclude)
 }
 

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Benchmark allocation smoke gates, shared by scripts/check.sh and the
+# CI workflow:
+#
+#   1. the pooled TA searcher must report 0 allocs/op at steady state on
+#      the exact path, the eps-budgeted approximate path and under
+#      parallel pool churn;
+#   2. the serial EM iteration benchmarks must stay allocation-free for
+#      both TCAM variants (scripts/bench_train.sh -smoke);
+#   3. the sharded-parallel EM benchmark must still run, so a refactor
+#      cannot silently break the GOMAXPROCS sweep between full bench
+#      runs.
+#
+# Usage: scripts/bench_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+bench_out=$(go test ./internal/topk -run - \
+    -bench 'BenchmarkTAQuery$|BenchmarkTAQueryApprox$|BenchmarkTAQueryParallel$' \
+    -benchmem -benchtime 200x -count=1)
+echo "$bench_out"
+if ! echo "$bench_out" | awk '
+    /^Benchmark/ { if ($(NF-1) + 0 != 0) bad = 1 }
+    END { exit bad }'; then
+    echo "bench_smoke.sh: pooled-searcher benchmark allocates (want 0 allocs/op)" >&2
+    exit 1
+fi
+
+scripts/bench_train.sh -smoke
+
+go test -run '^$' -bench 'BenchmarkEMIterationParallel$' -benchtime 1x \
+    ./internal/model/itcam/ ./internal/model/ttcam/ >/dev/null
+echo "bench_smoke.sh: OK"

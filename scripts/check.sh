@@ -45,29 +45,10 @@ if [ "${1:-}" != "-short" ]; then
     # finite after each M-step; λ stays in [0,1]).
     go test -tags tcamcheck -count=1 ./internal/model/...
 
-    # Allocation gate: the pooled TA searcher must stay allocation-free
-    # at steady state — on the exact path, the eps-budgeted approximate
-    # path, and under parallel pool churn. Parse -benchmem output and
-    # reject any benchmark reporting a nonzero allocs/op.
-    bench_out=$(go test ./internal/topk -run - \
-        -bench 'BenchmarkTAQuery$|BenchmarkTAQueryApprox$|BenchmarkTAQueryParallel$' \
-        -benchmem -benchtime 200x -count=1)
-    echo "$bench_out"
-    if ! echo "$bench_out" | awk '
-        /^Benchmark/ { if ($(NF-1) + 0 != 0) bad = 1 }
-        END { exit bad }'; then
-        echo "check.sh: pooled-searcher benchmark allocates (want 0 allocs/op)" >&2
-        exit 1
-    fi
-
-    # Training allocation gate: the EM iteration benchmarks must stay
-    # allocation-free at steady state for both TCAM variants.
-    scripts/bench_train.sh -smoke
-
-    # Smoke the sharded-parallel EM iteration benchmark (the GOMAXPROCS
-    # sweep entry point of bench_train.sh) so a refactor can't silently
-    # break it between full bench runs.
-    go test -run '^$' -bench 'BenchmarkEMIterationParallel$' -benchtime 1x \
-        ./internal/model/itcam/ ./internal/model/ttcam/ >/dev/null
+    # Allocation gates: the pooled TA searcher and the serial EM
+    # iteration must stay allocation-free at steady state, and the
+    # sharded-parallel EM benchmark must still run. Shared with the CI
+    # workflow's gates job.
+    scripts/bench_smoke.sh
 fi
 echo "check.sh: OK"
