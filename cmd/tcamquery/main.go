@@ -14,12 +14,19 @@
 // worker), remotely as a single /recommend/batch round trip. Remote
 // calls retry shed (429) and unavailable (503) responses with jittered
 // backoff, honoring the server's Retry-After hint.
+//
+// When -server points at a shard coordinator (cmd/tcamshard) that is
+// running degraded, the answer is still printed but flagged with the
+// item ranges that were not considered; -json emits the raw response
+// instead, with the degraded and missing_item_ranges fields intact.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,12 +43,13 @@ func main() {
 		when    = flag.Int64("time", 0, "query time in dataset ticks")
 		k       = flag.Int("k", 10, "number of recommendations")
 		exclude = flag.String("exclude", "", "comma-separated item IDs to exclude")
+		asJSON  = flag.Bool("json", false, "emit the raw server response as JSON (remote mode)")
 	)
 	flag.Parse()
 	var err error
 	switch {
 	case *server != "":
-		err = runRemote(*server, *user, *users, *when, *k, *exclude)
+		err = runRemote(os.Stdout, *server, *user, *users, *when, *k, *exclude, *asJSON)
 	case *users != "":
 		err = runBatch(*bundle, *users, *when, *k, *exclude)
 	default:
@@ -112,8 +120,9 @@ func runBatch(bundlePath, users string, when int64, k int, exclude string) error
 	return nil
 }
 
-// runRemote asks a running tcamserver instead of loading a bundle.
-func runRemote(baseURL, user, users string, when int64, k int, exclude string) error {
+// runRemote asks a running tcamserver (or shard coordinator) instead
+// of loading a bundle.
+func runRemote(w io.Writer, baseURL, user, users string, when int64, k int, exclude string, asJSON bool) error {
 	if user == "" && users == "" {
 		return fmt.Errorf("-user or -users is required with -server")
 	}
@@ -128,7 +137,10 @@ func runRemote(baseURL, user, users string, when int64, k int, exclude string) e
 		if err != nil {
 			return err
 		}
-		printRemote(res, when, k)
+		if asJSON {
+			return emitJSON(w, res)
+		}
+		printRemote(w, res, when, k)
 		return nil
 	}
 	ids := strings.Split(users, ",")
@@ -140,23 +152,40 @@ func runRemote(baseURL, user, users string, when int64, k int, exclude string) e
 	if err != nil {
 		return err
 	}
+	if asJSON {
+		return emitJSON(w, batch)
+	}
 	for i := range batch.Results {
-		printRemote(&batch.Results[i], when, k)
+		printRemote(w, &batch.Results[i], when, k)
 	}
 	if batch.Truncated {
-		fmt.Printf("(server truncated the batch: %d of %d queries answered)\n",
+		_, _ = fmt.Fprintf(w, "(server truncated the batch: %d of %d queries answered)\n",
 			len(batch.Results), len(queries))
 	}
 	return nil
 }
 
-func printRemote(res *client.RecommendResult, when int64, k int) {
+func emitJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printRemote(w io.Writer, res *client.RecommendResult, when int64, k int) {
 	if res.Error != "" {
-		fmt.Printf("top-%d for %s at t=%d: error: %s\n", k, res.User, when, res.Error)
+		_, _ = fmt.Fprintf(w, "top-%d for %s at t=%d: error: %s\n", k, res.User, when, res.Error)
 		return
 	}
-	fmt.Printf("top-%d for %s at t=%d (interval %d):\n", k, res.User, when, res.Interval)
+	_, _ = fmt.Fprintf(w, "top-%d for %s at t=%d (interval %d):\n", k, res.User, when, res.Interval)
 	for i, r := range res.Recommendations {
-		fmt.Printf("%3d. %-40s %.6g\n", i+1, r.Item, r.Score)
+		_, _ = fmt.Fprintf(w, "%3d. %-40s %.6g\n", i+1, r.Item, r.Score)
+	}
+	if res.Degraded {
+		ranges := make([]string, len(res.MissingItemRanges))
+		for i, r := range res.MissingItemRanges {
+			ranges[i] = fmt.Sprintf("[%d,%d)", r.Lo, r.Hi)
+		}
+		_, _ = fmt.Fprintf(w, "WARNING: degraded answer — item ranges %s were unavailable and not considered\n",
+			strings.Join(ranges, " "))
 	}
 }

@@ -1,14 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tcam"
+	"tcam/internal/client"
 	"tcam/internal/index"
 	"tcam/internal/server"
+	"tcam/internal/shard"
 )
 
 func trainedBundle(t *testing.T) string {
@@ -84,20 +90,85 @@ func TestQueryRunRemote(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	if err := runRemote(ts.URL, "user3", "", 2, 3, ""); err != nil {
+	if err := runRemote(io.Discard, ts.URL, "user3", "", 2, 3, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runRemote(ts.URL, "", "user3,user5,user0", 2, 3, "item-0"); err != nil {
+	if err := runRemote(io.Discard, ts.URL, "", "user3,user5,user0", 2, 3, "item-0", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runRemote(ts.URL, "", "", 2, 3, ""); err == nil {
+	if err := runRemote(io.Discard, ts.URL, "", "", 2, 3, "", false); err == nil {
 		t.Error("runRemote accepted neither -user nor -users")
 	}
-	if err := runRemote(ts.URL, "nobody", "", 2, 3, ""); err == nil {
+	if err := runRemote(io.Discard, ts.URL, "nobody", "", 2, 3, "", false); err == nil {
 		t.Error("runRemote accepted unknown user")
 	}
-	if err := runRemote("", "user3", "", 2, 3, ""); err == nil {
+	if err := runRemote(io.Discard, "", "user3", "", 2, 3, "", false); err == nil {
 		t.Error("runRemote accepted empty server URL")
+	}
+
+	var buf bytes.Buffer
+	if err := runRemote(&buf, ts.URL, "user3", "", 2, 3, "", true); err != nil {
+		t.Fatal(err)
+	}
+	var res client.RecommendResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("-json output is not a RecommendResult: %v\n%s", err, buf.String())
+	}
+	if res.User != "user3" || len(res.Recommendations) == 0 || res.Degraded {
+		t.Errorf("-json result: %+v", res)
+	}
+}
+
+// A degraded coordinator answer must be flagged in the human output and
+// carry the missing item ranges through -json untouched.
+func TestQueryRunRemoteDegraded(t *testing.T) {
+	b, err := index.Load(trainedBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := shard.Partition(len(b.Items), 2)
+	var cfgs []shard.ShardConfig
+	var shardServers []*httptest.Server
+	for _, r := range ranges {
+		srv, err := server.New(b, server.WithItemRange(r.Lo, r.Hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		shardServers = append(shardServers, ts)
+		cfgs = append(cfgs, shard.ShardConfig{BaseURL: ts.URL, Items: shard.Range{Lo: r.Lo, Hi: r.Hi}})
+	}
+	coord, err := shard.New(shard.Config{Shards: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord)
+	defer front.Close()
+	shardServers[1].Close() // second item window goes dark
+
+	var human bytes.Buffer
+	if err := runRemote(&human, front.URL, "user3", "", 2, 3, "", false); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("[%d,%d)", ranges[1].Lo, ranges[1].Hi)
+	if !strings.Contains(human.String(), "degraded") || !strings.Contains(human.String(), want) {
+		t.Errorf("human output lacks the degraded warning with range %s:\n%s", want, human.String())
+	}
+
+	var raw bytes.Buffer
+	if err := runRemote(&raw, front.URL, "user3", "", 2, 3, "", true); err != nil {
+		t.Fatal(err)
+	}
+	var res client.RecommendResult
+	if err := json.Unmarshal(raw.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Error("-json output lost the degraded marker")
+	}
+	if len(res.MissingItemRanges) != 1 || res.MissingItemRanges[0] != (client.ItemRange{Lo: ranges[1].Lo, Hi: ranges[1].Hi}) {
+		t.Errorf("-json missing_item_ranges = %+v, want [%s]", res.MissingItemRanges, want)
 	}
 }
 

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tcam"
+	"tcam/internal/index"
+	"tcam/internal/server"
+	"tcam/internal/shard"
+)
+
+// trainedBundle trains and saves a small bundle: 6 users, 5 items.
+func trainedBundle(t *testing.T) string {
+	t.Helper()
+	ds := tcam.NewDataset()
+	for day := int64(0); day < 5; day++ {
+		for u := 0; u < 6; u++ {
+			if err := ds.Add(fmt.Sprintf("user%d", u), fmt.Sprintf("item-%d", day), day, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := tcam.DefaultOptions()
+	opts.K1, opts.K2, opts.MaxIters = 3, 3, 8
+	rec, err := tcam.Train(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.tcam")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestParseWindow(t *testing.T) {
+	if lo, hi, err := parseWindow("3-9"); err != nil || lo != 3 || hi != 9 {
+		t.Errorf(`parseWindow("3-9") = %d,%d,%v`, lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "a-b", "3-"} {
+		if _, _, err := parseWindow(bad); err == nil {
+			t.Errorf("parseWindow(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	cfgs, err := parseShards("http://a=0-6,http://b=6-12", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].Items != (shard.Range{Lo: 0, Hi: 6}) || cfgs[1].BaseURL != "http://b" {
+		t.Errorf("explicit windows parsed as %+v", cfgs)
+	}
+
+	cfgs, err = parseShards("http://a,http://b", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 || cfgs[0].Items != (shard.Range{Lo: 0, Hi: 5}) || cfgs[1].Items != (shard.Range{Lo: 5, Hi: 10}) {
+		t.Errorf("auto partition parsed as %+v", cfgs)
+	}
+
+	for _, bad := range []struct {
+		spec    string
+		catalog int
+	}{
+		{"", 0},
+		{"http://a,http://b=0-5", 10}, // mixed forms
+		{"http://a,http://b", 0},      // bare entries, no catalog
+		{"http://a=0-x", 0},
+	} {
+		if _, err := parseShards(bad.spec, bad.catalog); err == nil {
+			t.Errorf("parseShards(%q, %d) accepted", bad.spec, bad.catalog)
+		}
+	}
+}
+
+func TestBuildShardServesWindow(t *testing.T) {
+	srv, b, err := buildShard(config{
+		bundlePath: trainedBundle(t),
+		items:      "0-3",
+		logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Items) != 5 {
+		t.Fatalf("bundle items = %d, want 5", len(b.Items))
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/shard/query", "application/json",
+		strings.NewReader(`{"user":"user2","time":3,"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard query status %d", resp.StatusCode)
+	}
+	var out struct {
+		ItemLo  int `json:"item_lo"`
+		ItemHi  int `json:"item_hi"`
+		Results []struct {
+			Item int `json:"item"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ItemLo != 0 || out.ItemHi != 3 {
+		t.Errorf("window = [%d,%d), want [0,3)", out.ItemLo, out.ItemHi)
+	}
+	for _, r := range out.Results {
+		if r.Item < 0 || r.Item >= 3 {
+			t.Errorf("item %d outside the shard window", r.Item)
+		}
+	}
+}
+
+func TestBuildShardErrors(t *testing.T) {
+	if _, _, err := buildShard(config{items: "0-3"}); err == nil {
+		t.Error("missing -bundle accepted")
+	}
+	if _, _, err := buildShard(config{bundlePath: trainedBundle(t), items: "0-99"}); err == nil {
+		t.Error("window beyond the catalog accepted")
+	}
+}
+
+// End to end: a coordinator process (via run) in front of two live
+// shard servers answers /recommend, and degrades when a shard dies.
+func TestRunCoordinatorEndToEnd(t *testing.T) {
+	bundlePath := trainedBundle(t)
+	b, err := index.Load(bundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := shard.Partition(len(b.Items), 2)
+	var spec []string
+	var shardServers []*httptest.Server
+	for _, r := range ranges {
+		srv, err := server.New(b, server.WithItemRange(r.Lo, r.Hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		shardServers = append(shardServers, ts)
+		spec = append(spec, fmt.Sprintf("%s=%d-%d", ts.URL, r.Lo, r.Hi))
+	}
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(config{
+			mode:         "coordinator",
+			addr:         "127.0.0.1:0",
+			shards:       strings.Join(spec, ","),
+			shardTimeout: 2 * time.Second,
+			drainTimeout: 5 * time.Second,
+			logger:       quietLogger(),
+			onReady:      func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	}
+
+	fetch := func() (int, map[string]interface{}) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/recommend?user=user2&time=3&k=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := fetch()
+	if code != http.StatusOK || out["degraded"] != nil {
+		t.Fatalf("healthy fleet: status %d, body %v", code, out)
+	}
+
+	// Kill one shard: the same query degrades instead of failing.
+	shardServers[1].Close()
+	code, out = fetch()
+	if code != http.StatusOK || out["degraded"] != true {
+		t.Fatalf("one shard down: status %d, body %v", code, out)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after SIGTERM")
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run(config{mode: "banana", logger: quietLogger()}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run(config{mode: "coordinator", logger: quietLogger()}); err == nil {
+		t.Error("coordinator without shards accepted")
+	}
+}

@@ -34,6 +34,7 @@ var ctxFlowPackages = []string{
 	"/internal/client",
 	"/internal/topk",
 	"/internal/train",
+	"/internal/shard",
 }
 
 func ctxFlowApplies(p *Pkg) bool {

@@ -1,0 +1,138 @@
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// listDir returns the directory's entry names.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// A failed rename (here: the destination is a directory) must remove
+// the already-synced temp file and leave the destination untouched.
+func TestWriteRenameFailureCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	marker := filepath.Join(path, "keep")
+	if err := os.WriteFile(marker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "payload")
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename over a directory succeeded")
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Errorf("rename target damaged: %v", err)
+	}
+	for _, name := range listDir(t, dir) {
+		if name != "target" {
+			t.Errorf("temp debris left behind: %s", name)
+		}
+	}
+}
+
+// A sync/close failure after the copy (simulated by the writer closing
+// the file underneath Write) must follow the same error path: no temp
+// litter, previous file preserved.
+func TestWriteSyncFailureCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Write(path, func(w io.Writer) error {
+		f, ok := w.(*os.File)
+		if !ok {
+			t.Fatalf("writer is %T, want *os.File", w)
+		}
+		if _, err := io.WriteString(f, "half a payload"); err != nil {
+			return err
+		}
+		return f.Close() // Sync on a closed file must fail, not publish
+	})
+	if err == nil {
+		t.Fatal("Write succeeded with a closed temp file")
+	}
+	if !strings.Contains(err.Error(), "atomicfile:") {
+		t.Errorf("error %q lacks the package prefix", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "previous" {
+		t.Errorf("previous file clobbered: %q", got)
+	}
+	for _, name := range listDir(t, dir) {
+		if name != "out.bin" {
+			t.Errorf("temp debris left behind: %s", name)
+		}
+	}
+}
+
+// Concurrent writers to the same path must each publish a complete
+// payload — the survivor is one of them, never an interleaving — and
+// leave no temp files.
+func TestWriteConcurrentNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contended")
+	payloads := []string{
+		strings.Repeat("aaaa", 1<<10),
+		strings.Repeat("bbbb", 1<<10),
+		strings.Repeat("cccc", 1<<10),
+		strings.Repeat("dddd", 1<<10),
+	}
+	var wg sync.WaitGroup
+	for _, p := range payloads {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			if err := Write(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, p)
+				return err
+			}); err != nil {
+				t.Errorf("concurrent Write: %v", err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for _, p := range payloads {
+		if string(got) == p {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("final content (%d bytes) is not any writer's complete payload", len(got))
+	}
+	for _, name := range listDir(t, dir) {
+		if name != "contended" {
+			t.Errorf("temp debris left behind: %s", name)
+		}
+	}
+}

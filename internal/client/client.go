@@ -108,14 +108,27 @@ type Recommendation struct {
 	Score float64 `json:"score"`
 }
 
+// ItemRange is a contiguous [Lo, Hi) window of the item catalog — the
+// unit a sharded serving tier partitions by and reports missing when
+// degraded.
+type ItemRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
 // RecommendResult mirrors the server's /recommend payload (and one
 // entry of a batch response, where a per-query failure sets Error).
+// Degraded and MissingItemRanges are only set by a shard coordinator:
+// the results are correct over the surviving shards, but items in the
+// missing ranges were not considered.
 type RecommendResult struct {
-	User            string           `json:"user"`
-	Interval        int              `json:"interval"`
-	Recommendations []Recommendation `json:"recommendations"`
-	ItemsExamined   int              `json:"items_examined"`
-	Error           string           `json:"error,omitempty"`
+	User              string           `json:"user"`
+	Interval          int              `json:"interval"`
+	Recommendations   []Recommendation `json:"recommendations"`
+	ItemsExamined     int              `json:"items_examined"`
+	Degraded          bool             `json:"degraded,omitempty"`
+	MissingItemRanges []ItemRange      `json:"missing_item_ranges,omitempty"`
+	Error             string           `json:"error,omitempty"`
 }
 
 // BatchQuery is one entry of a batch request.
@@ -134,16 +147,18 @@ type BatchResult struct {
 	Truncated bool              `json:"truncated,omitempty"`
 }
 
-// Health mirrors /healthz.
+// Health mirrors /healthz. ItemRange is present only when the target
+// is a shard serving a window of the catalog.
 type Health struct {
-	Status    string `json:"status"`
-	ModelKind string `json:"model_kind"`
-	Users     int    `json:"users"`
-	Items     int    `json:"items"`
-	Intervals int    `json:"intervals"`
-	Topics    int    `json:"topics"`
-	Version   uint64 `json:"version"`
-	Draining  bool   `json:"draining,omitempty"`
+	Status    string     `json:"status"`
+	ModelKind string     `json:"model_kind"`
+	Users     int        `json:"users"`
+	Items     int        `json:"items"`
+	Intervals int        `json:"intervals"`
+	Topics    int        `json:"topics"`
+	Version   uint64     `json:"version"`
+	Draining  bool       `json:"draining,omitempty"`
+	ItemRange *ItemRange `json:"item_range,omitempty"`
 }
 
 // Recommend fetches the temporal top-k for one user at a timestamp.
@@ -251,8 +266,26 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 		if retryAfter >= 0 {
 			delay = retryAfter
 		}
+		// Honor Retry-After (and the computed backoff) only up to the
+		// remaining deadline: a wait that cannot end before the caller's
+		// deadline would burn wall-clock on a sleep guaranteed to be
+		// cancelled. Fail now with the real cause instead.
+		if deadline, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(deadline); delay >= remaining {
+				return fmt.Errorf("client: retry delay %v exceeds the %v remaining before the deadline: %w",
+					delay, remaining.Round(time.Millisecond), lastErr)
+			}
+		}
 		if err := c.sleep(ctx, delay); err != nil {
-			return err
+			// Cancelled mid-backoff: stop consuming attempts and surface
+			// both the cancellation and the failure that caused the wait.
+			return fmt.Errorf("client: %w; last attempt: %v", err, lastErr)
+		}
+		if ctx.Err() != nil {
+			// The context died in the same instant the backoff timer
+			// fired; re-attempting with a dead context would only consume
+			// budget to manufacture the same error.
+			return fmt.Errorf("client: %w; last attempt: %v", ctx.Err(), lastErr)
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgePrimaryWinsBeforeDelay(t *testing.T) {
+	var launches atomic.Int64
+	v, idx, err := Hedge(context.Background(), time.Hour, func(ctx context.Context) (string, error) {
+		launches.Add(1)
+		return "primary", nil
+	})
+	if err != nil || v != "primary" || idx != 0 {
+		t.Fatalf("Hedge = (%q, %d, %v), want (primary, 0, nil)", v, idx, err)
+	}
+	if launches.Load() != 1 {
+		t.Errorf("launched %d attempts, want 1 (no hedge for a fast primary)", launches.Load())
+	}
+}
+
+// A straggling primary triggers the hedge; the hedge's result wins and
+// the straggler's context is cancelled — observed deterministically via
+// the blocked primary's ctx.Done.
+func TestHedgeFiresOnStragglerAndCancelsLoser(t *testing.T) {
+	primaryCancelled := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	var attempt atomic.Int64
+	v, idx, err := Hedge(context.Background(), time.Millisecond, func(ctx context.Context) (string, error) {
+		if attempt.Add(1) == 1 {
+			// Primary: a straggler that only returns once cancelled.
+			select {
+			case <-ctx.Done():
+				close(primaryCancelled)
+				return "", ctx.Err()
+			case <-release:
+				return "straggler", nil
+			}
+		}
+		return "hedge", nil
+	})
+	if err != nil || v != "hedge" || idx != 1 {
+		t.Fatalf("Hedge = (%q, %d, %v), want (hedge, 1, nil)", v, idx, err)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing attempt was never cancelled")
+	}
+}
+
+// The first SUCCESS wins: a hedge that errors quickly does not beat a
+// primary that eventually succeeds.
+func TestHedgeErrorDoesNotBeatSlowSuccess(t *testing.T) {
+	var attempt atomic.Int64
+	hedgeFailed := make(chan struct{})
+	v, idx, err := Hedge(context.Background(), time.Millisecond, func(ctx context.Context) (string, error) {
+		if attempt.Add(1) == 1 {
+			<-hedgeFailed // primary waits out the hedge's failure
+			return "primary", nil
+		}
+		close(hedgeFailed)
+		return "", errors.New("hedge lost the coin flip")
+	})
+	if err != nil || v != "primary" || idx != 0 {
+		t.Fatalf("Hedge = (%q, %d, %v), want (primary, 0, nil)", v, idx, err)
+	}
+}
+
+func TestHedgeAllAttemptsFail(t *testing.T) {
+	wantErr := errors.New("shard down")
+	var launches atomic.Int64
+	started := make(chan struct{}, 2)
+	_, idx, err := Hedge(context.Background(), 0, func(ctx context.Context) (int, error) {
+		launches.Add(1)
+		started <- struct{}{}
+		<-started // both attempts proceed regardless of ordering
+		started <- struct{}{}
+		return 0, wantErr
+	})
+	if !errors.Is(err, wantErr) || idx != -1 {
+		t.Fatalf("Hedge = (%d, %v), want (-1, the shard error)", idx, err)
+	}
+}
+
+func TestHedgePrimaryFastFailureReturnsWithoutHedging(t *testing.T) {
+	wantErr := errors.New("connection refused")
+	var launches atomic.Int64
+	_, idx, err := Hedge(context.Background(), time.Hour, func(ctx context.Context) (int, error) {
+		launches.Add(1)
+		return 0, wantErr
+	})
+	if !errors.Is(err, wantErr) || idx != -1 {
+		t.Fatalf("Hedge = (%d, %v), want the primary's error", idx, err)
+	}
+	if launches.Load() != 1 {
+		t.Errorf("launched %d attempts, want 1 (fast failure is not a straggler)", launches.Load())
+	}
+}
+
+func TestHedgeNegativeDelayDisablesBackup(t *testing.T) {
+	var launches atomic.Int64
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	v, idx, err := Hedge(context.Background(), -1, func(ctx context.Context) (string, error) {
+		launches.Add(1)
+		<-release
+		return "only", nil
+	})
+	if err != nil || v != "only" || idx != 0 {
+		t.Fatalf("Hedge = (%q, %d, %v)", v, idx, err)
+	}
+	if launches.Load() != 1 {
+		t.Errorf("launched %d attempts with hedging disabled", launches.Load())
+	}
+}
+
+func TestHedgeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	go func() {
+		<-entered
+		cancel()
+	}()
+	_, idx, err := Hedge(ctx, time.Hour, func(ctx context.Context) (int, error) {
+		entered <- struct{}{}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) || idx != -1 {
+		t.Fatalf("Hedge = (%d, %v), want the caller's cancellation", idx, err)
+	}
+}
+
+func TestHedgerQuantileDelay(t *testing.T) {
+	h := NewHedger(HedgerConfig{Quantile: 0.9, Window: 10, MinSamples: 5, Default: 123 * time.Millisecond})
+	if d := h.Delay(); d != 123*time.Millisecond {
+		t.Fatalf("cold Delay() = %v, want the default", d)
+	}
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// p90 over 1..10ms lands on the 9th/10th observation.
+	if d := h.Delay(); d < 8*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("warm Delay() = %v, want ~9ms", d)
+	}
+	// The window slides: flood with large latencies and the delay rises.
+	for i := 0; i < 10; i++ {
+		h.Observe(500 * time.Millisecond)
+	}
+	if d := h.Delay(); d != 500*time.Millisecond {
+		t.Fatalf("Delay() = %v after the window slid, want 500ms", d)
+	}
+}
+
+func TestHedgerClamps(t *testing.T) {
+	h := NewHedger(HedgerConfig{Window: 4, MinSamples: 2, MinDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		h.Observe(time.Microsecond)
+	}
+	if d := h.Delay(); d != 10*time.Millisecond {
+		t.Fatalf("Delay() = %v, want the 10ms floor", d)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(time.Minute)
+	}
+	if d := h.Delay(); d != 100*time.Millisecond {
+		t.Fatalf("Delay() = %v, want the 100ms ceiling", d)
+	}
+}

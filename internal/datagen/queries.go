@@ -1,0 +1,127 @@
+package datagen
+
+// Query-load synthesis for serving benchmarks: real social traffic is
+// head-heavy, so the stream of (user, time, k, exclude) tuples a
+// benchmark fires at tcamserver or the shard coordinator should be
+// Zipf-skewed too — a few hot users dominate, most of the long tail
+// appears rarely, and exclude lists re-mention the popular items.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcam/internal/stats"
+)
+
+// QueryLoadConfig parameterizes a synthetic query stream; zero fields
+// take defaults where noted.
+type QueryLoadConfig struct {
+	// Queries is the stream length. Required.
+	Queries int
+	// Users is the user-catalog size. Required. User u's request rate
+	// follows rank u+1 under a Zipf law: user 0 is the hottest.
+	Users int
+	// Items is the item-catalog size. Required when MaxExclude > 0;
+	// exclude entries are Zipf-skewed the same way (item 0 hottest).
+	Items int
+	// UserExponent is the Zipf exponent of user popularity (default
+	// 1.1; larger = more head-heavy, 0 < s).
+	UserExponent float64
+	// ItemExponent is the Zipf exponent of exclude-list items (default
+	// 1.1).
+	ItemExponent float64
+	// TimeMin/TimeMax bound the uniform timestamp draw, inclusive
+	// (default both zero: every query at t=0).
+	TimeMin, TimeMax int64
+	// K is the top-k per query (default 10).
+	K int
+	// MaxExclude bounds the per-query exclude-list length, drawn
+	// uniformly from [0, MaxExclude] without duplicates (default 0).
+	MaxExclude int
+	// Seed makes the stream reproducible (default 1).
+	Seed int64
+}
+
+// Query is one synthetic request: indices into the user/item catalogs,
+// so callers can format names however their serving tier expects.
+type Query struct {
+	User    int
+	Time    int64
+	K       int
+	Exclude []int
+}
+
+// GenerateQueries synthesizes a Zipf-skewed query load. The same
+// config always yields the same stream.
+func GenerateQueries(cfg QueryLoadConfig) ([]Query, error) {
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("datagen: Queries must be positive, got %d", cfg.Queries)
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("datagen: Users must be positive, got %d", cfg.Users)
+	}
+	if cfg.MaxExclude < 0 {
+		return nil, fmt.Errorf("datagen: MaxExclude must be non-negative, got %d", cfg.MaxExclude)
+	}
+	if cfg.MaxExclude > 0 && cfg.Items <= cfg.MaxExclude {
+		return nil, fmt.Errorf("datagen: Items (%d) must exceed MaxExclude (%d)", cfg.Items, cfg.MaxExclude)
+	}
+	if cfg.TimeMax < cfg.TimeMin {
+		return nil, fmt.Errorf("datagen: TimeMax %d before TimeMin %d", cfg.TimeMax, cfg.TimeMin)
+	}
+	userExp := cfg.UserExponent
+	if userExp <= 0 {
+		userExp = 1.1
+	}
+	itemExp := cfg.ItemExponent
+	if itemExp <= 0 {
+		itemExp = 1.1
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 10
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	users := zipfSampler(cfg.Users, userExp)
+	var items itemSampler
+	if cfg.MaxExclude > 0 {
+		items = zipfSampler(cfg.Items, itemExp)
+	}
+	span := cfg.TimeMax - cfg.TimeMin
+	out := make([]Query, cfg.Queries)
+	for i := range out {
+		u, _ := users.sample(rng)
+		q := Query{User: u, Time: cfg.TimeMin, K: k}
+		if span > 0 {
+			q.Time += rng.Int63n(span + 1)
+		}
+		if cfg.MaxExclude > 0 {
+			want := rng.Intn(cfg.MaxExclude + 1)
+			seen := make(map[int]bool, want)
+			for len(q.Exclude) < want {
+				v, _ := items.sample(rng)
+				if seen[v] {
+					continue // hot items repeat often; keep the list a set
+				}
+				seen[v] = true
+				q.Exclude = append(q.Exclude, v)
+			}
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// zipfSampler builds a rank-ordered Zipf sampler over [0, n): index 0
+// is the most popular.
+func zipfSampler(n int, exponent float64) itemSampler {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return newItemSampler(ranks, stats.Zipf(n, exponent))
+}

@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateQueriesDeterministicPerSeed(t *testing.T) {
+	cfg := QueryLoadConfig{
+		Queries: 200, Users: 50, Items: 100,
+		TimeMin: 100, TimeMax: 500, K: 5, MaxExclude: 4, Seed: 7,
+	}
+	a, err := GenerateQueries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateQueries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	cfg.Seed = 8
+	c, err := GenerateQueries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateQueriesZipfSkew(t *testing.T) {
+	queries, err := GenerateQueries(QueryLoadConfig{
+		Queries: 5000, Users: 100, UserExponent: 1.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for _, q := range queries {
+		counts[q.User]++
+	}
+	// Under a Zipf law the hottest user dwarfs the uniform share (50)
+	// and the head outweighs the tail.
+	if counts[0] < 200 {
+		t.Errorf("hottest user got %d of 5000 queries; stream looks uniform", counts[0])
+	}
+	head, tail := 0, 0
+	for u, c := range counts {
+		if u < 10 {
+			head += c
+		} else {
+			tail += c
+		}
+	}
+	if head <= tail {
+		t.Errorf("top-10 users got %d queries vs %d for the other 90; no skew", head, tail)
+	}
+}
+
+func TestGenerateQueriesBoundsAndDefaults(t *testing.T) {
+	queries, err := GenerateQueries(QueryLoadConfig{
+		Queries: 500, Users: 20, Items: 30,
+		TimeMin: 10, TimeMax: 20, MaxExclude: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExclude := false
+	for _, q := range queries {
+		if q.User < 0 || q.User >= 20 {
+			t.Fatalf("user %d out of range", q.User)
+		}
+		if q.Time < 10 || q.Time > 20 {
+			t.Fatalf("time %d outside [10,20]", q.Time)
+		}
+		if q.K != 10 {
+			t.Fatalf("k = %d, want the default 10", q.K)
+		}
+		if len(q.Exclude) > 5 {
+			t.Fatalf("exclude list of %d exceeds MaxExclude", len(q.Exclude))
+		}
+		seen := make(map[int]bool)
+		for _, v := range q.Exclude {
+			if v < 0 || v >= 30 {
+				t.Fatalf("exclude item %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate exclude item %d", v)
+			}
+			seen[v] = true
+			sawExclude = true
+		}
+	}
+	if !sawExclude {
+		t.Error("no query carried an exclude list")
+	}
+}
+
+func TestGenerateQueriesValidation(t *testing.T) {
+	bad := []QueryLoadConfig{
+		{Queries: 0, Users: 10},
+		{Queries: 10, Users: 0},
+		{Queries: 10, Users: 10, MaxExclude: -1},
+		{Queries: 10, Users: 10, MaxExclude: 5, Items: 5},
+		{Queries: 10, Users: 10, TimeMin: 5, TimeMax: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateQueries(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

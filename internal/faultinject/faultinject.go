@@ -58,17 +58,25 @@ func Clear(site string) {
 	mu.Lock()
 	defer mu.Unlock()
 	delete(hooks, site)
-	if len(hooks) == 0 {
-		armed.Store(false)
-	}
+	maybeDisarm()
 }
 
-// Reset disarms every hook; defer it from any test that calls Set.
+// Reset disarms every hook of both kinds (plain and error-returning);
+// defer it from any test that calls Set or SetErr.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = nil
+	errHooks = nil
 	armed.Store(false)
+}
+
+// maybeDisarm drops the armed fast-path flag once no hook of either
+// registry remains. Callers hold mu.
+func maybeDisarm() {
+	if len(hooks) == 0 && len(errHooks) == 0 {
+		armed.Store(false)
+	}
 }
 
 // Panics returns a hook that panics with a constant message. Use it to

@@ -5,6 +5,7 @@ package server
 // atomic hot reload of the serving snapshot.
 
 import (
+	"fmt"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -30,6 +31,11 @@ type Server struct {
 	draining   atomic.Bool
 	recLimit   inflightLimiter
 	batchLimit inflightLimiter
+
+	// itemLo/itemHi is the shard item window; both zero means the full
+	// catalog (monolithic mode). Immutable after New, so reloads keep
+	// serving the same partition.
+	itemLo, itemHi int
 
 	reloadMu sync.Mutex // serializes Reload/ReloadFromSource
 	reload   func() (*index.Bundle, error)
@@ -63,6 +69,32 @@ func WithReloader(load func() (*index.Bundle, error)) Option {
 // Without it the server is silent.
 func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithItemRange puts the server in shard mode: the TA index covers only
+// catalog items in [lo, hi), while vocabularies stay global so queries
+// and responses speak global item names and indices. /shard/query
+// serves the partial top-k a coordinator merges, /healthz reports the
+// window, and hot reloads rebuild the same window. New rejects a window
+// that is empty or outside the bundle's catalog.
+func WithItemRange(lo, hi int) Option {
+	return func(s *Server) {
+		s.itemLo = lo
+		s.itemHi = hi
+	}
+}
+
+// validateWindow checks the configured shard window against a bundle's
+// catalog. The zero window (monolithic mode) is always valid.
+func (s *Server) validateWindow(b *index.Bundle) error {
+	if s.itemLo == 0 && s.itemHi == 0 {
+		return nil
+	}
+	if s.itemLo < 0 || s.itemHi <= s.itemLo || s.itemHi > len(b.Items) {
+		return fmt.Errorf("server: item window [%d,%d) invalid for a %d-item catalog",
+			s.itemLo, s.itemHi, len(b.Items))
+	}
+	return nil
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -180,9 +212,12 @@ func (s *Server) Reload(b *index.Bundle) (uint64, error) {
 	if err := b.Validate(); err != nil {
 		return 0, err
 	}
+	if err := s.validateWindow(b); err != nil {
+		return 0, err // new catalog no longer covers this shard's window
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	sn := newSnapshot(b, s.snap.Load().version+1)
+	sn := newSnapshot(b, s.snap.Load().version+1, s.itemLo, s.itemHi)
 	s.snap.Store(sn)
 	s.logf("reloaded bundle: version %d, %d users, %d items", sn.version, len(b.Users), len(b.Items))
 	return sn.version, nil

@@ -56,13 +56,21 @@ type snapshot struct {
 	version  uint64    // 1 for the boot bundle, +1 per reload
 }
 
-func newSnapshot(b *index.Bundle, version uint64) *snapshot {
+// newSnapshot builds one serving generation. A non-empty item window
+// [lo, hi) builds the TA index over just that slice of the catalog —
+// shard mode — while vocabularies stay global so queries speak global
+// item names; lo == hi == 0 builds the full monolithic index.
+func newSnapshot(b *index.Bundle, version uint64, lo, hi int) *snapshot {
 	sn := &snapshot{
 		bundle:  b,
-		idx:     b.BuildIndex(),
 		userIdx: make(map[string]int, len(b.Users)),
 		itemIdx: make(map[string]int, len(b.Items)),
 		version: version,
+	}
+	if lo == 0 && hi == 0 {
+		sn.idx = b.BuildIndex()
+	} else {
+		sn.idx = topk.BuildIndexRange(b.Scorer(), lo, hi)
 	}
 	for u, name := range b.Users {
 		sn.userIdx[name] = u
@@ -86,11 +94,15 @@ func New(b *index.Bundle, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.snap.Store(newSnapshot(b, 1))
+	if err := s.validateWindow(b); err != nil {
+		return nil, err
+	}
+	s.snap.Store(newSnapshot(b, 1, s.itemLo, s.itemHi))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/recommend", s.handleRecommend)
 	s.mux.HandleFunc("/recommend/batch", s.handleRecommendBatch)
+	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
 	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	s.mux.HandleFunc("/topics/", s.handleTopic)
 	s.mux.HandleFunc("/users/", s.handleUser)
@@ -100,16 +112,25 @@ func New(b *index.Bundle, opts ...Option) (*Server, error) {
 // snapshot returns the current serving generation.
 func (s *Server) snapshot() *snapshot { return s.snap.Load() }
 
-// healthResponse is the /healthz payload.
+// healthResponse is the /healthz payload. ItemRange is present only in
+// shard mode, where it names the [lo, hi) window of the catalog this
+// instance indexes.
 type healthResponse struct {
-	Status    string `json:"status"`
-	ModelKind string `json:"model_kind"`
-	Users     int    `json:"users"`
-	Items     int    `json:"items"`
-	Intervals int    `json:"intervals"`
-	Topics    int    `json:"topics"`
-	Version   uint64 `json:"version"`
-	Draining  bool   `json:"draining,omitempty"`
+	Status    string         `json:"status"`
+	ModelKind string         `json:"model_kind"`
+	Users     int            `json:"users"`
+	Items     int            `json:"items"`
+	Intervals int            `json:"intervals"`
+	Topics    int            `json:"topics"`
+	Version   uint64         `json:"version"`
+	Draining  bool           `json:"draining,omitempty"`
+	ItemRange *itemRangeBody `json:"item_range,omitempty"`
+}
+
+// itemRangeBody is a contiguous [Lo, Hi) catalog window in JSON form.
+type itemRangeBody struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -118,7 +139,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snapshot()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:    "ok",
 		ModelKind: string(sn.bundle.Kind),
 		Users:     len(sn.bundle.Users),
@@ -127,7 +148,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Topics:    sn.bundle.Scorer().NumTopics(),
 		Version:   sn.version,
 		Draining:  s.draining.Load(),
-	})
+	}
+	if s.itemLo != 0 || s.itemHi != 0 {
+		resp.ItemRange = &itemRangeBody{Lo: s.itemLo, Hi: s.itemHi}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // recommendation is one entry of the /recommend payload.

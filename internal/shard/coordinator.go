@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tcam/internal/client"
+	"tcam/internal/faultinject"
+)
+
+// ShardConfig describes one shard of the fleet.
+type ShardConfig struct {
+	// BaseURL locates the shard server, e.g. "http://10.0.0.3:8080".
+	BaseURL string
+	// Items is the catalog window the shard serves — reported as
+	// missing when the shard is unavailable.
+	Items Range
+	// HTTPClient overrides the transport for this shard (default: one
+	// shared client with a 30s timeout). Tests use it to wire
+	// httpfault.Transport per shard.
+	HTTPClient *http.Client
+}
+
+// Config parameterizes a Coordinator; zero fields take defaults.
+type Config struct {
+	// Shards is the fleet, one entry per item range. Required.
+	Shards []ShardConfig
+	// ShardTimeout is the per-shard deadline budget carved from each
+	// request's context (default 2s): a straggler or black-holed shard
+	// costs at most this much of the request's wall clock.
+	ShardTimeout time.Duration
+	// Breaker templates the per-shard circuit breakers; each shard's
+	// breaker derives its jitter seed from Breaker.Seed plus the shard
+	// index, so probe schedules decorrelate but stay reproducible.
+	Breaker client.BreakerConfig
+	// Hedger templates the per-shard latency trackers that decide when
+	// a straggler deserves a backup request.
+	Hedger client.HedgerConfig
+	// Logger directs coordinator logging (recovered panics, shard
+	// failures). Without it the coordinator is silent.
+	Logger *log.Logger
+}
+
+// Coordinator scatter-gathers queries across a shard fleet and merges
+// the partial top-k lists. It implements http.Handler with the same
+// /recommend surface a monolithic tcamserver exposes, plus /healthz
+// and /readyz that surface per-shard breaker state. Safe for
+// concurrent use.
+type Coordinator struct {
+	shards  []*shardConn
+	timeout time.Duration
+	logger  *log.Logger
+	mux     *http.ServeMux
+}
+
+// shardConn is the coordinator's per-shard state: transport, breaker,
+// and latency tracker.
+type shardConn struct {
+	base    string
+	items   Range
+	hc      *http.Client
+	breaker *client.Breaker
+	hedger  *client.Hedger
+}
+
+// New validates cfg and builds a Coordinator. Shard item ranges must be
+// non-empty and non-overlapping; they are kept sorted by Lo so merged
+// output and missing-range reports are deterministic.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: at least one shard is required")
+	}
+	c := &Coordinator{
+		timeout: cfg.ShardTimeout,
+		logger:  cfg.Logger,
+		mux:     http.NewServeMux(),
+	}
+	if c.timeout <= 0 {
+		c.timeout = 2 * time.Second
+	}
+	shared := &http.Client{Timeout: 30 * time.Second}
+	ordered := make([]ShardConfig, len(cfg.Shards))
+	copy(ordered, cfg.Shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Items.Lo < ordered[j].Items.Lo })
+	for i, sc := range ordered {
+		if sc.BaseURL == "" {
+			return nil, fmt.Errorf("shard: shard %d has no BaseURL", i)
+		}
+		if sc.Items.Hi <= sc.Items.Lo || sc.Items.Lo < 0 {
+			return nil, fmt.Errorf("shard: shard %d item range [%d,%d) is empty or negative",
+				i, sc.Items.Lo, sc.Items.Hi)
+		}
+		if i > 0 && sc.Items.Lo < ordered[i-1].Items.Hi {
+			return nil, fmt.Errorf("shard: item ranges [%d,%d) and [%d,%d) overlap",
+				ordered[i-1].Items.Lo, ordered[i-1].Items.Hi, sc.Items.Lo, sc.Items.Hi)
+		}
+		bc := cfg.Breaker
+		if bc.Seed == 0 {
+			bc.Seed = 1
+		}
+		bc.Seed += int64(i)
+		hc := sc.HTTPClient
+		if hc == nil {
+			hc = shared
+		}
+		c.shards = append(c.shards, &shardConn{
+			base:    strings.TrimRight(sc.BaseURL, "/"),
+			items:   sc.Items,
+			hc:      hc,
+			breaker: client.NewBreaker(bc),
+			hedger:  client.NewHedger(cfg.Hedger),
+		})
+	}
+	c.mux.HandleFunc("/healthz", c.handleHealth)
+	c.mux.HandleFunc("/readyz", c.handleReady)
+	c.mux.HandleFunc("/recommend", c.handleRecommend)
+	return c, nil
+}
+
+// FleetConfigs partitions an n-item catalog across the given base URLs
+// with Partition's ceil-chunk split — the deploy-time helper that keeps
+// the coordinator's view and the shards' WithItemRange windows in sync.
+func FleetConfigs(n int, baseURLs []string) []ShardConfig {
+	ranges := Partition(n, len(baseURLs))
+	out := make([]ShardConfig, len(ranges))
+	for i, r := range ranges {
+		out[i] = ShardConfig{BaseURL: baseURLs[i], Items: r}
+	}
+	return out
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.logger != nil {
+		c.logger.Printf(format, args...)
+	}
+}
+
+// ServeHTTP implements http.Handler with panic containment, mirroring
+// the server's lifecycle discipline.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+		}
+	}()
+	c.mux.ServeHTTP(w, r)
+}
+
+// shardRequest is the body the coordinator POSTs to /shard/query.
+type shardRequest struct {
+	User    string   `json:"user"`
+	Time    int64    `json:"time"`
+	K       int      `json:"k"`
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+// userError is a shard's 404: the fleet is healthy, the user does not
+// exist. It propagates as the coordinator's own 404 and never counts
+// against a breaker.
+type userError struct{ msg string }
+
+func (e *userError) Error() string { return e.msg }
+
+// errBreakerOpen marks a shard skipped without a request because its
+// breaker is open.
+var errBreakerOpen = errors.New("shard: circuit breaker open")
+
+// post runs one POST /shard/query attempt against the shard.
+func (sc *shardConn) post(ctx context.Context, req *shardRequest) (*partialResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode query: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sc.base+"/shard/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := sc.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg := strings.TrimSpace(string(raw))
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, &userError{msg: msg}
+		}
+		return nil, fmt.Errorf("shard %s: status %d: %s", sc.base, resp.StatusCode, msg)
+	}
+	var out partialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("shard %s: decode: %w", sc.base, err)
+	}
+	return &out, nil
+}
+
+// query runs one shard's scatter leg: breaker admission, a deadline
+// budget carved from ctx, and a hedged request — the backup fires after
+// the shard's observed latency quantile, the first success wins, and
+// the loser's context is cancelled. A half-open breaker admits exactly
+// one un-hedged probe.
+func (c *Coordinator) query(ctx context.Context, sc *shardConn, req *shardRequest) (*partialResponse, error) {
+	if !sc.breaker.Allow() {
+		return nil, errBreakerOpen
+	}
+	sctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	delay := sc.hedger.Delay()
+	if sc.breaker.State() == client.BreakerHalfOpen {
+		delay = -1 // the recovery probe is a single request, never doubled
+	}
+	start := time.Now()
+	resp, _, err := client.Hedge(sctx, delay, func(actx context.Context) (*partialResponse, error) {
+		return sc.post(actx, req)
+	})
+	if err != nil {
+		var ue *userError
+		if errors.As(err, &ue) {
+			sc.breaker.Success() // the shard answered; the user is the problem
+			return nil, err
+		}
+		sc.breaker.Failure()
+		return nil, err
+	}
+	sc.hedger.Observe(time.Since(start))
+	sc.breaker.Success()
+	return resp, nil
+}
+
+// Recommendation is one entry of the merged payload.
+type Recommendation struct {
+	Item  string  `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// Response is the coordinator's /recommend payload — the monolithic
+// server's schema plus the degradation marker. When Degraded is true
+// the recommendations are exact over the surviving shards, but items
+// in MissingItemRanges were not considered.
+type Response struct {
+	User              string           `json:"user"`
+	Interval          int              `json:"interval"`
+	Recommendations   []Recommendation `json:"recommendations"`
+	ItemsExamined     int              `json:"items_examined"`
+	Degraded          bool             `json:"degraded,omitempty"`
+	MissingItemRanges []Range          `json:"missing_item_ranges,omitempty"`
+}
+
+// Recommend scatter-gathers one query across the fleet and merges the
+// partial top-k lists. The returned Response is exact when every shard
+// answered; degraded (with the missing ranges named) when some did;
+// and the error is ErrAllShardsDown when none did. A userError-backed
+// 404 from any shard propagates as-is.
+func (c *Coordinator) Recommend(ctx context.Context, user string, when int64, k int, exclude []string) (*Response, error) {
+	faultinject.Fire("coordinator.scatter")
+	req := &shardRequest{User: user, Time: when, K: k, Exclude: exclude}
+	parts := make([]*partialResponse, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sc := range c.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			parts[i], errs[i] = c.query(ctx, sc, req)
+		}(i, sc)
+	}
+	wg.Wait()
+	alive := make([]*partialResponse, 0, len(parts))
+	var missing []Range
+	for i, p := range parts {
+		if p != nil {
+			alive = append(alive, p)
+			continue
+		}
+		var ue *userError
+		if errors.As(errs[i], &ue) {
+			return nil, ue
+		}
+		c.logf("shard %s unavailable: %v", c.shards[i].base, errs[i])
+		missing = append(missing, c.shards[i].items)
+	}
+	if len(alive) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrAllShardsDown
+	}
+	merged := mergeTopK(alive, req.k())
+	resp := &Response{
+		User:              user,
+		Interval:          alive[0].Interval,
+		Recommendations:   make([]Recommendation, 0, len(merged)),
+		Degraded:          len(missing) > 0,
+		MissingItemRanges: missing,
+	}
+	for _, p := range alive {
+		resp.ItemsExamined += p.ItemsExamined
+	}
+	for _, res := range merged {
+		resp.Recommendations = append(resp.Recommendations, Recommendation{Item: res.Name, Score: res.Score})
+	}
+	return resp, nil
+}
+
+// k resolves the effective result size the same way the shards do.
+func (r *shardRequest) k() int {
+	if r.K == 0 {
+		return 10
+	}
+	return r.K
+}
+
+// ErrAllShardsDown is returned when no shard produced a partial result:
+// there is nothing to serve, degraded or otherwise.
+var ErrAllShardsDown = errors.New("shard: all shards unavailable")
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (c *Coordinator) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	q := r.URL.Query()
+	user := q.Get("user")
+	if user == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "user is required"})
+		return
+	}
+	when, err := strconv.ParseInt(q.Get("time"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "time must be an integer timestamp in dataset ticks"})
+		return
+	}
+	k := 0
+	if raw := q.Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k <= 0 || k > 1000 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be in [1,1000]"})
+			return
+		}
+	}
+	var exclude []string
+	if raw := q.Get("exclude"); raw != "" {
+		for _, id := range strings.Split(raw, ",") {
+			if dec, err := url.QueryUnescape(id); err == nil {
+				id = dec
+			}
+			exclude = append(exclude, id)
+		}
+	}
+	resp, err := c.Recommend(r.Context(), user, when, k, exclude)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.As(err, new(*userError)):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	}
+}
+
+// shardHealth is one fleet entry of the coordinator's /healthz payload.
+type shardHealth struct {
+	BaseURL string `json:"base_url"`
+	Items   Range  `json:"items"`
+	Breaker string `json:"breaker"`
+}
+
+// healthResponse is the coordinator's /healthz payload.
+type healthResponse struct {
+	Status string        `json:"status"`
+	Shards []shardHealth `json:"shards"`
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	resp := healthResponse{Status: "ok", Shards: make([]shardHealth, len(c.shards))}
+	for i, sc := range c.shards {
+		resp.Shards[i] = shardHealth{BaseURL: sc.base, Items: sc.items, Breaker: sc.breaker.State().String()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyResponse is the coordinator's /readyz payload.
+type readyResponse struct {
+	Status            string  `json:"status"`
+	MissingItemRanges []Range `json:"missing_item_ranges,omitempty"`
+}
+
+// handleReady feeds breaker state to the load balancer: 200 while every
+// shard's breaker admits traffic, 503 naming the unavailable item
+// ranges once any breaker is open (degraded — partial answers only),
+// with status "unavailable" when the whole fleet is down.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	var open []Range
+	for _, sc := range c.shards {
+		if sc.breaker.State() == client.BreakerOpen {
+			open = append(open, sc.items)
+		}
+	}
+	switch {
+	case len(open) == 0:
+		writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
+	case len(open) < len(c.shards):
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "degraded", MissingItemRanges: open})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "unavailable", MissingItemRanges: open})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, payload interface{}) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = fmt.Fprintf(w, `{"error":%q}`, "response encoding failed: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(raw)
+}

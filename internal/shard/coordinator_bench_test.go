@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCoordinator measures one scatter-gather /recommend through
+// live shard servers (real HTTP per leg) at fleet sizes 1, 2, and 4 —
+// the coordinator-side cost curve BENCH_query.json tracks alongside the
+// in-process topk numbers.
+func BenchmarkCoordinator(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		// "=" rather than "-" before the count: bench_query.sh strips a
+		// trailing -N as the GOMAXPROCS suffix when building the JSON.
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			f := newFleet(b, n, nil, nil)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				user := fmt.Sprintf("user-%d", i%6)
+				resp, err := f.c.Recommend(ctx, user, 100+int64(i%30), 10, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Degraded {
+					b.Fatal("degraded response in benchmark")
+				}
+			}
+		})
+	}
+}

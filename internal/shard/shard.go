@@ -1,0 +1,105 @@
+// Package shard is the fault-tolerant scatter-gather serving tier
+// (DESIGN.md §14). The item catalog is partitioned into contiguous
+// ranges, each served by a tcamserver in shard mode (server.
+// WithItemRange); a Coordinator fans each query out to every shard,
+// gathers the partial top-k lists, and merges them into exactly the
+// answer the monolithic index would give — bit-identical scores, same
+// tie-break order.
+//
+// The robustness discipline lives in the coordinator: per-shard
+// deadline budgets carved from the request context, hedged retries for
+// straggler shards (a backup request after the shard's observed latency
+// quantile, first success wins, the loser is cancelled), a per-shard
+// circuit breaker so a down shard costs nothing after it trips, and
+// graceful degradation — when some shards are unavailable the merged
+// result over the survivors is returned with a Degraded marker naming
+// the missing item ranges, and only when every shard is down does the
+// coordinator answer 503.
+package shard
+
+import "sort"
+
+// Range is a contiguous [Lo, Hi) window of the item catalog.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Partition splits a catalog of n items into at most shards contiguous
+// ceil-chunk ranges, the same split distem.Partition applies to users.
+// Every item lands in exactly one range; when shards > n the trailing
+// empty ranges are omitted.
+func Partition(n, shards int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	chunk := (n + shards - 1) / shards
+	out := make([]Range, 0, shards)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// partialResult is one entry of a shard's partial top-k, mirroring the
+// server's /shard/query result schema: the global item index is the
+// merge tie-break key, the name spares the coordinator a vocabulary,
+// and the score is the shard's exact float64 (Go's JSON shortest-form
+// encoding round-trips it bit-for-bit).
+type partialResult struct {
+	Item  int     `json:"item"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// partialResponse mirrors the server's /shard/query payload.
+type partialResponse struct {
+	User          string          `json:"user"`
+	Interval      int             `json:"interval"`
+	ItemLo        int             `json:"item_lo"`
+	ItemHi        int             `json:"item_hi"`
+	Version       uint64          `json:"version"`
+	Results       []partialResult `json:"results"`
+	ItemsExamined int             `json:"items_examined"`
+}
+
+// mergeTopK merges per-shard partial top-k lists into the global top-k.
+// Shard windows are disjoint, so the global top-k is a subset of the
+// concatenation; sorting by (score desc, item asc) — the exact order
+// topk's result heap emits — and truncating to k therefore reproduces
+// the monolithic answer bit-for-bit. Scores are compared with < and >
+// only: equal scores fall through to the ascending-item tie-break.
+func mergeTopK(partials []*partialResponse, k int) []partialResult {
+	total := 0
+	for _, p := range partials {
+		total += len(p.Results)
+	}
+	merged := make([]partialResult, 0, total)
+	for _, p := range partials {
+		merged = append(merged, p.Results...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Score > b.Score {
+			return true
+		}
+		if a.Score < b.Score {
+			return false
+		}
+		return a.Item < b.Item
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

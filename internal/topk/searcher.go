@@ -200,17 +200,21 @@ func (s *Searcher) run(query []float64, k int, eps float64, exclude Exclude) ([]
 		ref := s.pq.pop()
 		z := ref.topic
 		list := ix.lists[z]
-		item := int(list[pos[z]].item)
+		item := int(list[pos[z]].item) // local window offset
 		st.ListPops++
 		if s.seen[item] != s.epoch {
 			s.seen[item] = s.epoch
-			if exclude == nil || !exclude(item) {
+			// Exclude filters and returned results speak global catalog
+			// indices; a full index has itemLo == 0 so this is the
+			// historical behavior there.
+			gitem := item + ix.itemLo
+			if exclude == nil || !exclude(gitem) {
 				// f32 screen: ref.priority is this item's screened score.
 				// Only candidates that could still reach the k-th best
 				// under the error bound pay for the exact f64 score.
 				if results.Len() < k || ref.priority*ix.screenScale+ix.screenEps >= results.min().Score {
 					st.ItemsExamined++
-					results.offer(Result{Item: item, Score: ix.Score(query, item)})
+					results.offer(Result{Item: gitem, Score: ix.Score(query, gitem)})
 				} else {
 					st.ScreenedOut++
 				}

@@ -92,7 +92,8 @@ func BruteForce(r model.Recommender, u, t, k int, exclude Exclude) ([]Result, St
 // read-only and safe for concurrent use.
 type Index struct {
 	numTopics int
-	numItems  int
+	numItems  int // window size: number of items this index covers
+	itemLo    int // global index of the window's first item (0 for a full index)
 	lists     [][]entry
 	byItem    []float64 // V×K transposed topic weights: ϕ_zv at [v*K+z]
 	byItem32  []float32 // float32 quantization of byItem, same layout
@@ -124,10 +125,28 @@ type entry struct {
 // interleave writes every K entries and thrash cache lines between
 // workers).
 func BuildIndex(ts model.TopicScorer) *Index {
-	k, v := ts.NumTopics(), ts.NumItems()
+	return BuildIndexRange(ts, 0, ts.NumItems())
+}
+
+// BuildIndexRange builds an index covering only the items in [lo, hi) —
+// the per-shard item window of the scatter-gather serving tier. The
+// windowed index answers the same queries as a full one restricted to
+// its window: results carry global item indices, Exclude callbacks
+// receive global item indices, and scores are the exact full-model
+// scores, so merging disjoint windows' top-k lists by (score desc, item
+// asc) reproduces the monolithic top-k bit for bit (the global top-k is
+// a subset of the union of per-window top-k's). Memory scales with the
+// window, not the catalog: lists and both transposed tables hold hi−lo
+// entries per topic.
+func BuildIndexRange(ts model.TopicScorer, lo, hi int) *Index {
+	if lo < 0 || hi < lo || hi > ts.NumItems() {
+		panic("topk: item window out of bounds")
+	}
+	k, v := ts.NumTopics(), hi-lo
 	ix := &Index{
 		numTopics: k,
 		numItems:  v,
+		itemLo:    lo,
 		lists:     make([][]entry, k),
 		byItem:    make([]float64, v*k),
 		byItem32:  make([]float32, v*k),
@@ -143,13 +162,16 @@ func BuildIndex(ts model.TopicScorer) *Index {
 	for z := 0; z < k; z++ {
 		topics[z] = ts.TopicItems(z)
 	}
+	// Entries and table rows are indexed by the local item offset within
+	// the window; ascending local order is ascending global order, so
+	// every tie-break below matches the full index.
 	workers := model.Workers(0)
-	model.ParallelRanges(k, workers, func(_, lo, hi int) {
-		for z := lo; z < hi; z++ {
+	model.ParallelRanges(k, workers, func(_, zlo, zhi int) {
+		for z := zlo; z < zhi; z++ {
 			weights := topics[z]
 			list := make([]entry, v)
 			for item := 0; item < v; item++ {
-				list[item] = entry{item: int32(item), weight: weights[item]}
+				list[item] = entry{item: int32(item), weight: weights[lo+item]}
 			}
 			slices.SortFunc(list, func(a, b entry) int {
 				if a.weight > b.weight {
@@ -163,13 +185,13 @@ func BuildIndex(ts model.TopicScorer) *Index {
 			ix.lists[z] = list
 		}
 	})
-	model.ParallelRanges(v, workers, func(_, lo, hi int) {
-		for item := lo; item < hi; item++ {
+	model.ParallelRanges(v, workers, func(_, vlo, vhi int) {
+		for item := vlo; item < vhi; item++ {
 			row := ix.byItem[item*k : (item+1)*k]
 			row32 := ix.byItem32[item*k : (item+1)*k]
 			for z, weights := range topics {
-				row[z] = weights[item]
-				row32[z] = float32(weights[item])
+				row[z] = weights[lo+item]
+				row32[z] = float32(weights[lo+item])
 			}
 		}
 	})
@@ -179,20 +201,28 @@ func BuildIndex(ts model.TopicScorer) *Index {
 // NumTopics returns K, the number of sorted lists.
 func (ix *Index) NumTopics() int { return ix.numTopics }
 
-// NumItems returns the catalog size the index was built over.
+// NumItems returns the number of items the index covers: the catalog
+// size for a full index, the window size for a BuildIndexRange index.
 func (ix *Index) NumItems() int { return ix.numItems }
 
+// ItemRange returns the global [lo, hi) item window the index covers.
+// A BuildIndex index reports the whole catalog.
+func (ix *Index) ItemRange() (lo, hi int) { return ix.itemLo, ix.itemLo + ix.numItems }
+
 // Score computes S(u,t,v) = Σ_z ϑ_z·ϕ_zv for a query-weight vector, in
-// O(K) via the transposed table. The sum runs over every topic in
-// ascending order through the unrolled dotOrdered kernel; weights and
-// topic masses are non-negative (the Eq. 22 monotone decomposition), so
-// including zero-weight terms adds exact +0s and the value is
-// bit-identical to the historical skip-zeros loop.
+// O(K) via the transposed table. item is a global catalog index and
+// must lie inside the index's window (always true for a full index).
+// The sum runs over every topic in ascending order through the unrolled
+// dotOrdered kernel; weights and topic masses are non-negative (the
+// Eq. 22 monotone decomposition), so including zero-weight terms adds
+// exact +0s and the value is bit-identical to the historical skip-zeros
+// loop.
 //
 //tcam:hotpath
 func (ix *Index) Score(query []float64, item int) float64 {
 	k := ix.numTopics
-	return dotOrdered(query, ix.byItem[item*k:(item+1)*k])
+	local := item - ix.itemLo
+	return dotOrdered(query, ix.byItem[local*k:(local+1)*k])
 }
 
 // score32 is the float32 screening scorer: the same dot product as

@@ -39,6 +39,9 @@ run_bench() {
 run_bench ./internal/topk/ 'BenchmarkTAQuery|BenchmarkBuildIndex'
 run_bench ./internal/topk/ 'BenchmarkQueryBatch' -cpu 1,2,4,8
 run_bench ./internal/server/ 'BenchmarkServerRecommend'
+# Scatter-gather cost curve: one /recommend through live shard servers
+# (real HTTP per leg) at fleet sizes 1, 2 and 4.
+run_bench ./internal/shard/ 'BenchmarkCoordinator'
 
 # The -N suffix on a benchmark name is the GOMAXPROCS the run used
 # (absent for 1); strip it into the record's "gomaxprocs" field.
