@@ -6,34 +6,47 @@
 // Usage:
 //
 //	tcamgen -profile digg -out digg.jsonl [-seed 1] [-users N] [-items N] [-days N]
+//	tcamgen -profile digg -out digg.log -stream [-batch 256]
+//
+// With -stream, -out names an ingest log directory instead of a JSONL
+// file: the generated events are sorted by event time and appended as
+// CRC-framed ingest records in -batch sized appends, producing exactly
+// the time-ordered stream a producer would feed `tcamserver
+// -ingest-log` — so the continuous-ingestion path can be load-tested
+// against realistic Zipf-shaped traffic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"tcam/internal/datagen"
+	"tcam/internal/dataset"
+	"tcam/internal/ingest"
 )
 
 func main() {
 	var (
 		profileName = flag.String("profile", "digg", "dataset profile: digg | movielens | douban | delicious")
-		out         = flag.String("out", "", "output JSONL path (required)")
+		out         = flag.String("out", "", "output JSONL path, or ingest log directory with -stream (required)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		users       = flag.Int("users", 0, "override user count (0 = profile default)")
 		items       = flag.Int("items", 0, "override item count (0 = profile default)")
 		days        = flag.Int("days", 0, "override timeline length in days (0 = profile default)")
+		stream      = flag.Bool("stream", false, "emit a time-ordered ingest log directory instead of a JSONL dataset")
+		batch       = flag.Int("batch", 256, "records per ingest append with -stream")
 	)
 	flag.Parse()
-	if err := run(*profileName, *out, *seed, *users, *items, *days); err != nil {
+	if err := run(*profileName, *out, *seed, *users, *items, *days, *stream, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profileName, out string, seed int64, users, items, days int) error {
+func run(profileName, out string, seed int64, users, items, days int, stream bool, batch int) error {
 	if out == "" {
 		return fmt.Errorf("-out is required")
 	}
@@ -56,11 +69,48 @@ func run(profileName, out string, seed int64, users, items, days int) error {
 	if err != nil {
 		return err
 	}
+	if stream {
+		if err := writeStream(world.Log, out, batch); err != nil {
+			return err
+		}
+		fmt.Printf("streamed %s: %d users, %d items, %d time-ordered events over %d days (%s profile, seed %d)\n",
+			out, world.Log.NumUsers(), world.Log.NumItems(), world.Log.NumEvents(), cfg.NumDays, profile, seed)
+		return nil
+	}
 	if err := world.Log.SaveJSONLFile(out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d users, %d items, %d events over %d days (%s profile, seed %d)\n",
 		out, world.Log.NumUsers(), world.Log.NumItems(), world.Log.NumEvents(), cfg.NumDays, profile, seed)
+	return nil
+}
+
+// writeStream appends the log's events, sorted by event time (ties keep
+// generation order, so output is deterministic per seed), to the ingest
+// log directory dir in batchSize-record appends.
+func writeStream(log *dataset.Interactions, dir string, batchSize int) error {
+	if batchSize <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", batchSize)
+	}
+	events := log.Events()
+	recs := make([]ingest.Record, len(events))
+	for i, e := range events {
+		recs[i] = ingest.Record{User: log.UserID(e.User), Item: log.ItemID(e.Item), Time: e.Time, Score: e.Score}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	lg, err := ingest.Open(dir)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(recs); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if _, err := lg.Append(recs[lo:hi]...); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

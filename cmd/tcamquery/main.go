@@ -8,6 +8,12 @@
 //	tcamquery -bundle digg.tcam -users u00042,u00091,u00007 -time 37 [-k 10]
 //	tcamquery -server http://localhost:8080 -user u00042 -time 37 [-k 10]
 //	tcamquery -server http://localhost:8080 -users u00042,u00091 -time 37
+//	tcamquery -server http://localhost:8080 -health [-json]
+//
+// With -health, no query runs: the server's /healthz summary is
+// printed instead — snapshot version and, when the server tails an
+// ingest log, the log offset, lag and staleness, so operators can see
+// how far serving lags the event stream.
 //
 // With -users, all queries run as one batch: locally through the
 // parallel serving path (pooled Threshold-Algorithm scratch per
@@ -44,10 +50,13 @@ func main() {
 		k       = flag.Int("k", 10, "number of recommendations")
 		exclude = flag.String("exclude", "", "comma-separated item IDs to exclude")
 		asJSON  = flag.Bool("json", false, "emit the raw server response as JSON (remote mode)")
+		health  = flag.Bool("health", false, "print the server's /healthz summary (snapshot version, ingest lag, staleness) instead of querying")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *health:
+		err = runHealth(os.Stdout, *server, *asJSON)
 	case *server != "":
 		err = runRemote(os.Stdout, *server, *user, *users, *when, *k, *exclude, *asJSON)
 	case *users != "":
@@ -161,6 +170,43 @@ func runRemote(w io.Writer, baseURL, user, users string, when int64, k int, excl
 	if batch.Truncated {
 		_, _ = fmt.Fprintf(w, "(server truncated the batch: %d of %d queries answered)\n",
 			len(batch.Results), len(queries))
+	}
+	return nil
+}
+
+// runHealth prints the serving state an operator cares about: which
+// snapshot generation is live and — when the server tails an ingest log
+// — how far it lags the durable event stream.
+func runHealth(w io.Writer, baseURL string, asJSON bool) error {
+	if baseURL == "" {
+		return fmt.Errorf("-health requires -server")
+	}
+	c, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return emitJSON(w, h)
+	}
+	_, _ = fmt.Fprintf(w, "%s: %s %s — %d users, %d items, %d intervals, %d topics\n",
+		baseURL, h.Status, h.ModelKind, h.Users, h.Items, h.Intervals, h.Topics)
+	_, _ = fmt.Fprintf(w, "snapshot version %d", h.Version)
+	if h.Draining {
+		_, _ = fmt.Fprint(w, " (draining)")
+	}
+	_, _ = fmt.Fprintln(w)
+	if h.Ingest == nil {
+		_, _ = fmt.Fprintln(w, "no ingest log attached (static bundle)")
+		return nil
+	}
+	_, _ = fmt.Fprintf(w, "ingest: snapshot at log offset %d of %d (lag %d), derived %.1fs ago\n",
+		h.Ingest.LogOffset, h.Ingest.LogEnd, h.Ingest.Lag, h.Ingest.StalenessSeconds)
+	if h.Ingest.Lag == 0 {
+		_, _ = fmt.Fprintln(w, "serving is current with the durable log")
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"tcam"
 	"tcam/internal/client"
 	"tcam/internal/index"
+	"tcam/internal/ingest"
 	"tcam/internal/server"
 	"tcam/internal/shard"
 )
@@ -182,5 +183,70 @@ func TestQueryRunBatchErrors(t *testing.T) {
 	}
 	if err := runBatch(filepath.Join(t.TempDir(), "missing"), "user3", 0, 3, ""); err == nil {
 		t.Error("runBatch accepted missing bundle")
+	}
+}
+
+// -health surfaces the snapshot version and, when the server tails an
+// ingest log, the offset/lag/staleness triple operators watch.
+func TestQueryRunHealth(t *testing.T) {
+	b, err := index.Load(trainedBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := runHealth(&out, ts.URL, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snapshot version 1") || !strings.Contains(out.String(), "no ingest log attached") {
+		t.Errorf("static-bundle health output:\n%s", out.String())
+	}
+
+	// Attach an updater and fold one event in: the ingest block appears.
+	lg, err := ingest.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := server.NewUpdater(srv, lg, b, server.UpdaterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(ingest.Record{User: "newcomer", Item: "item-2", Time: 1, Score: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if published, err := up.Step(); err != nil || !published {
+		t.Fatalf("Step = (%v, %v)", published, err)
+	}
+	out.Reset()
+	if err := runHealth(&out, ts.URL, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"snapshot version 2", "log offset 1 of 1 (lag 0)", "serving is current"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("health output lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// -json emits the raw Health struct with the ingest block intact.
+	out.Reset()
+	if err := runHealth(&out, ts.URL, true); err != nil {
+		t.Fatal(err)
+	}
+	var h client.Health
+	if err := json.Unmarshal(out.Bytes(), &h); err != nil {
+		t.Fatalf("-json output is not a Health: %v\n%s", err, out.String())
+	}
+	if h.Version != 2 || h.Ingest == nil || h.Ingest.LogOffset != 1 || h.Ingest.Lag != 0 {
+		t.Errorf("-json health = %+v ingest=%+v", h, h.Ingest)
+	}
+
+	if err := runHealth(io.Discard, "", false); err == nil {
+		t.Error("runHealth accepted empty server URL")
 	}
 }

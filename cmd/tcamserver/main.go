@@ -9,6 +9,15 @@
 //	tcamserver -bundle digg.tcam [-addr :8080]
 //	    [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //	    [-drain-timeout 30s] [-max-inflight 1024] [-max-inflight-batch 64]
+//	    [-ingest-log dir] [-ingest-interval 1s] [-fold-iters 5]
+//
+// With -ingest-log set, a background updater tails the append-only
+// event log in that directory, folds new users/items/intervals into
+// the boot bundle (frozen global parameters, partial EM for new users)
+// and republishes the serving snapshot; /healthz gains an "ingest"
+// object with the log offset and staleness. Note that an ingest
+// publish supersedes any bundle swapped in via SIGHUP — the updater
+// always re-derives from the bundle the process booted with.
 //
 // Signals:
 //
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"tcam/internal/index"
+	"tcam/internal/ingest"
 	"tcam/internal/server"
 )
 
@@ -51,6 +61,13 @@ type config struct {
 	maxInflight      int
 	maxInflightBatch int
 
+	// Continuous ingestion (empty ingestLog disables it): the server
+	// tails the ingest log directory, folds new users/items/intervals
+	// into the frozen boot bundle, and republishes snapshots.
+	ingestLog      string
+	ingestInterval time.Duration
+	foldIters      int
+
 	logger  *log.Logger
 	onReady func(addr string) // test hook: fires once the listener is bound and signals are wired
 }
@@ -66,6 +83,9 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", server.DefaultMaxInflight, "concurrent /recommend budget (<=0 unlimited)")
 	flag.IntVar(&cfg.maxInflightBatch, "max-inflight-batch", server.DefaultMaxInflightBatch, "concurrent /recommend/batch budget (<=0 unlimited)")
+	flag.StringVar(&cfg.ingestLog, "ingest-log", "", "ingest log directory to tail for continuous fold-in (empty disables)")
+	flag.DurationVar(&cfg.ingestInterval, "ingest-interval", server.DefaultUpdaterInterval, "ingest log poll period")
+	flag.IntVar(&cfg.foldIters, "fold-iters", 0, "partial-EM rounds per fold-in (0 = default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamserver:", err)
@@ -80,6 +100,41 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+
+	// Continuous ingestion: tail the log on a background goroutine,
+	// joined via updaterDone before run returns.
+	var updaterDone chan struct{}
+	var updaterStop context.CancelFunc
+	if cfg.ingestLog != "" {
+		lg, err := ingest.Open(cfg.ingestLog)
+		if err != nil {
+			return err
+		}
+		advCfg := index.DefaultAdvanceConfig()
+		if cfg.foldIters > 0 {
+			advCfg.FoldIters = cfg.foldIters
+		}
+		up, err := server.NewUpdater(srv, lg, b, server.UpdaterConfig{
+			Interval: cfg.ingestInterval,
+			Advance:  advCfg,
+		})
+		if err != nil {
+			return err
+		}
+		var upCtx context.Context
+		upCtx, updaterStop = context.WithCancel(context.Background())
+		updaterDone = make(chan struct{})
+		go func() {
+			defer close(updaterDone)
+			up.Run(upCtx)
+		}()
+		cfg.logf("tailing ingest log %s every %s", cfg.ingestLog, cfg.ingestInterval)
+		defer func() {
+			updaterStop()
+			<-updaterDone
+		}()
+	}
+
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadTimeout:       cfg.readTimeout,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tcam"
+	"tcam/internal/ingest"
 )
 
 func trainedBundle(t *testing.T) string {
@@ -127,6 +128,139 @@ func TestRunSIGTERMGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not exit after SIGTERM")
+	}
+}
+
+// TestRunContinuousIngestion is the end-to-end acceptance test for the
+// streaming loop: a producer process (here, a second ingest.Log handle)
+// appends events while tcamserver runs, and the background updater must
+// publish at least three successive snapshot generations — growing the
+// user base, the catalog, and the time grid mid-flight — all while the
+// HTTP surface keeps answering. SIGTERM at the end also exercises the
+// updater goroutine join in run.
+func TestRunContinuousIngestion(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ingestLog = t.TempDir()
+	cfg.ingestInterval = 10 * time.Millisecond
+	cfg.foldIters = 3
+	addr, done := startRun(t, cfg)
+
+	type ingestBody struct {
+		LogOffset int64   `json:"log_offset"`
+		LogEnd    int64   `json:"log_end"`
+		Lag       int64   `json:"lag"`
+		Staleness float64 `json:"staleness_seconds"`
+	}
+	type healthBody struct {
+		Version   uint64      `json:"version"`
+		Users     int         `json:"users"`
+		Items     int         `json:"items"`
+		Intervals int         `json:"intervals"`
+		Ingest    *ingestBody `json:"ingest"`
+	}
+	health := func() healthBody {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthBody
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	// waitCaughtUp polls until the serving snapshot reflects the whole
+	// log (offset == want, lag == 0). Exact version numbers are not
+	// asserted — a poll tick may split one append batch into two
+	// generations — only that versions strictly grow across waves.
+	waitCaughtUp := func(want int64) healthBody {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h := health()
+			if h.Ingest != nil && h.Ingest.LogOffset == want && h.Ingest.Lag == 0 {
+				return h
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("snapshot never caught up to offset %d: %+v ingest=%+v", want, h, h.Ingest)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	recommend := func(query string) int {
+		resp, err := http.Get("http://" + addr + "/recommend?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	boot := health()
+	if boot.Version != 1 || boot.Users != 6 || boot.Items != 5 || boot.Intervals != 5 {
+		t.Fatalf("boot health = %+v", boot)
+	}
+	if boot.Ingest == nil {
+		t.Fatal("/healthz has no ingest object with -ingest-log set")
+	}
+
+	producer, err := ingest.Open(cfg.ingestLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wave 1: a brand-new user rates items from the boot catalog.
+	if _, err := producer.Append(
+		ingest.Record{User: "newcomer", Item: "item-2", Time: 1, Score: 2},
+		ingest.Record{User: "newcomer", Item: "item-4", Time: 3, Score: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := waitCaughtUp(2)
+	if gen2.Version <= boot.Version || gen2.Users != 7 || gen2.Items != 5 || gen2.Intervals != 5 {
+		t.Fatalf("after wave 1: %+v", gen2)
+	}
+	if code := recommend("user=newcomer&time=3&k=3"); code != http.StatusOK {
+		t.Fatalf("/recommend for folded-in user = %d", code)
+	}
+
+	// Wave 2: a new item arrives at a time past the boot grid's last
+	// edge, growing both the catalog and the interval count.
+	if _, err := producer.Append(ingest.Record{User: "user1", Item: "item-fresh", Time: 7, Score: 3}); err != nil {
+		t.Fatal(err)
+	}
+	gen3 := waitCaughtUp(3)
+	if gen3.Version <= gen2.Version || gen3.Users != 7 || gen3.Items != 6 || gen3.Intervals != 8 {
+		t.Fatalf("after wave 2: %+v", gen3)
+	}
+
+	// Wave 3: the folded-in user keeps interacting, including with the
+	// streamed item at a streamed interval.
+	if _, err := producer.Append(ingest.Record{User: "newcomer", Item: "item-fresh", Time: 8, Score: 2}); err != nil {
+		t.Fatal(err)
+	}
+	gen4 := waitCaughtUp(4)
+	if gen4.Version <= gen3.Version || gen4.Users != 7 || gen4.Items != 6 {
+		t.Fatalf("after wave 3: %+v", gen4)
+	}
+	if gen4.Version < 4 {
+		t.Fatalf("served %d generations, want at least 4 (boot + 3 published)", gen4.Version)
+	}
+	if code := recommend("user=newcomer&time=8&k=3"); code != http.StatusOK {
+		t.Fatalf("/recommend at streamed interval = %d", code)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v, want clean drain with updater joined", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM (updater goroutine not joined?)")
 	}
 }
 

@@ -28,9 +28,11 @@ var CtxFlow = &Analyzer{
 }
 
 // ctxFlowPackages are the module-relative packages under the contract:
-// the serving/query path and the long-running training engine.
+// the serving/query path, the streaming ingest log and the
+// long-running training engine.
 var ctxFlowPackages = []string{
 	"/internal/server",
+	"/internal/ingest",
 	"/internal/client",
 	"/internal/topk",
 	"/internal/train",

@@ -8,6 +8,7 @@
 package atomicfile
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -49,6 +50,44 @@ func Write(path string, write func(io.Writer) error) (err error) {
 	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}
+
+// Append durably appends the bytes produced by write to path, creating
+// the file when absent. The payload is buffered in memory first and
+// issued as a single Write call on an O_APPEND descriptor, so
+// concurrent appenders interleave at record granularity rather than
+// byte granularity, then fsynced before Append returns. Unlike Write,
+// Append does not replace the file: a crash mid-call can leave a torn
+// tail, which is why every append-only consumer (the ingest log, the
+// JSONL appender) frames or line-delimits its records and discards an
+// incomplete final record on open.
+func Append(path string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	if buf.Len() == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	_, werr := f.Write(buf.Bytes())
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+	}
+	cerr := f.Close()
+	switch {
+	case werr != nil:
+		return fmt.Errorf("atomicfile: append %s: %w", path, werr)
+	case serr != nil:
+		return fmt.Errorf("atomicfile: sync %s: %w", path, serr)
+	case cerr != nil:
+		return fmt.Errorf("atomicfile: close %s: %w", path, cerr)
 	}
 	return nil
 }

@@ -90,6 +90,61 @@ func TestWriteMissingDirFails(t *testing.T) {
 	}
 }
 
+func TestAppendCreatesAndExtends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	for i, chunk := range []string{"one\n", "two\n", "three\n"} {
+		if err := Append(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, chunk)
+			return err
+		}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one\ntwo\nthree\n" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+// A failing writer must leave the file untouched: the payload is fully
+// buffered before the descriptor is even opened.
+func TestAppendFailureLeavesFileAlone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded")
+	err := Append(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "partial"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Errorf("file mutated on failure: %q", got)
+	}
+}
+
+func TestAppendEmptyPayloadDoesNotCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := Append(path, func(io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("empty append created the file (stat err %v)", err)
+	}
+}
+
 func TestWriteRelativePath(t *testing.T) {
 	old, err := os.Getwd()
 	if err != nil {

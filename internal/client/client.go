@@ -159,6 +159,20 @@ type Health struct {
 	Version   uint64     `json:"version"`
 	Draining  bool       `json:"draining,omitempty"`
 	ItemRange *ItemRange `json:"item_range,omitempty"`
+	// Ingest is present only when the server tails an ingest log
+	// (tcamserver -ingest-log): how far the serving snapshot lags the
+	// durable event stream.
+	Ingest *IngestHealth `json:"ingest,omitempty"`
+}
+
+// IngestHealth mirrors the "ingest" sub-object of /healthz.
+type IngestHealth struct {
+	LogOffset int64 `json:"log_offset"`
+	LogEnd    int64 `json:"log_end"`
+	Lag       int64 `json:"lag"`
+	// StalenessSeconds is the age of the serving snapshot's derivation;
+	// with Lag zero the snapshot is current regardless of its age.
+	StalenessSeconds float64 `json:"staleness_seconds"`
 }
 
 // Recommend fetches the temporal top-k for one user at a timestamp.

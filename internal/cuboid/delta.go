@@ -1,0 +1,212 @@
+package cuboid
+
+// Incremental extension: the streaming ingest loop grows a cuboid by
+// batches of new cells (possibly widening the user/interval/item
+// dimensions) without re-sorting the full cell population. ApplyDelta
+// and Merge both reduce to one two-way merge of already-sorted cell
+// slices — count first, then fill into exact-size allocations — so the
+// rebuild stays within the same small-constant allocation budget as
+// Builder.Build's fromCells path and preserves the CSR↔Cells index
+// alignment every consumer relies on.
+
+import "fmt"
+
+// Delta is a batch of new cells destined for an existing cuboid. Its
+// dimensions are those of the cuboid AFTER application, so a delta may
+// widen any dimension; it must never shrink one. Duplicate (u, t, v)
+// triples — within the delta or against the base cuboid — merge by
+// summing scores, exactly like Builder.
+type Delta struct {
+	numUsers     int
+	numIntervals int
+	numItems     int
+	cells        []Cell
+	frozen       bool
+}
+
+// NewDelta returns a Delta targeting the given post-application
+// dimensions.
+func NewDelta(numUsers, numIntervals, numItems int) *Delta {
+	if numUsers < 0 || numIntervals < 0 || numItems < 0 {
+		panic("cuboid: negative dimension")
+	}
+	return &Delta{numUsers: numUsers, numIntervals: numIntervals, numItems: numItems}
+}
+
+// Add records a new rating cell. Indices are validated against the
+// delta's (post-application) dimensions.
+func (d *Delta) Add(u, t, v int, score float64) error {
+	if d.frozen {
+		return fmt.Errorf("cuboid: delta already applied; build a new one")
+	}
+	if u < 0 || u >= d.numUsers {
+		return fmt.Errorf("cuboid: user %d out of range [0,%d)", u, d.numUsers)
+	}
+	if t < 0 || t >= d.numIntervals {
+		return fmt.Errorf("cuboid: interval %d out of range [0,%d)", t, d.numIntervals)
+	}
+	if v < 0 || v >= d.numItems {
+		return fmt.Errorf("cuboid: item %d out of range [0,%d)", v, d.numItems)
+	}
+	if score <= 0 {
+		return fmt.Errorf("cuboid: non-positive score %v", score)
+	}
+	d.cells = append(d.cells, Cell{U: int32(u), T: int32(t), V: int32(v), Score: score})
+	return nil
+}
+
+// MustAdd is Add for already-validated indices; it panics on error.
+func (d *Delta) MustAdd(u, t, v int, score float64) {
+	if err := d.Add(u, t, v, score); err != nil {
+		panic(fmt.Sprintf("cuboid: MustAdd: %v", err))
+	}
+}
+
+// Len returns the number of cells added so far (before merging).
+func (d *Delta) Len() int { return len(d.cells) }
+
+// freeze sorts and dedup-merges the delta's cells in place. Duplicate
+// keys merge in insertion order (stable sort), so the summed score of
+// a key is independent of how the stream was cut into sort runs.
+func (d *Delta) freeze() {
+	if d.frozen {
+		return
+	}
+	sortCellsStable(d.cells)
+	merged := d.cells[:0]
+	for _, c := range d.cells {
+		n := len(merged)
+		if n > 0 && sameKey(merged[n-1], c) {
+			merged[n-1].Score += c.Score
+			continue
+		}
+		merged = append(merged, c)
+	}
+	d.cells = merged
+	d.frozen = true
+}
+
+// ApplyDelta returns a new cuboid extended by the delta's cells, with
+// the delta's (possibly wider) dimensions. The base cuboid is
+// untouched; the delta is frozen (sorted, deduplicated) by the call
+// and must not be Added to afterwards. Cells present in both merge by
+// adding the delta's score onto the base's.
+//
+// Cost: one count pass and one fill pass over base.NNZ()+delta cells
+// into exact-size allocations, then the shared fromCells CSR build —
+// the same ≤14-allocation discipline as Builder.Build, independent of
+// cell count.
+func (c *Cuboid) ApplyDelta(d *Delta) (*Cuboid, error) {
+	if d.numUsers < c.numUsers || d.numIntervals < c.numIntervals || d.numItems < c.numItems {
+		return nil, fmt.Errorf("cuboid: delta dimensions %d×%d×%d shrink the cuboid's %d×%d×%d",
+			d.numUsers, d.numIntervals, d.numItems, c.numUsers, c.numIntervals, c.numItems)
+	}
+	d.freeze()
+	out := mergeCells(c.cells, d.cells)
+	return fromCells(d.numUsers, d.numIntervals, d.numItems, out), nil
+}
+
+// Merge returns the union of two cuboids: dimensions are the
+// element-wise maxima, cells present in both sum their scores (the
+// receiver's score on the left). Both inputs are untouched.
+func (c *Cuboid) Merge(o *Cuboid) *Cuboid {
+	nu := c.numUsers
+	if o.numUsers > nu {
+		nu = o.numUsers
+	}
+	nt := c.numIntervals
+	if o.numIntervals > nt {
+		nt = o.numIntervals
+	}
+	nv := c.numItems
+	if o.numItems > nv {
+		nv = o.numItems
+	}
+	return fromCells(nu, nt, nv, mergeCells(c.cells, o.cells))
+}
+
+// mergeCells merges two (U, T, V)-sorted deduplicated cell slices into
+// a freshly allocated sorted deduplicated slice, summing scores of
+// shared keys (a's score on the left). Count-then-fill: the first walk
+// sizes the union exactly, the second writes each cell into its final
+// slot, so the merge costs one allocation regardless of input size.
+func mergeCells(a, b []Cell) []Cell {
+	n := 0
+	for i, j := 0, 0; i < len(a) || j < len(b); n++ {
+		switch {
+		case j == len(b) || (i < len(a) && cellLess(a[i], b[j])):
+			i++
+		case i == len(a) || cellLess(b[j], a[i]):
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out := make([]Cell, n)
+	k := 0
+	for i, j := 0, 0; i < len(a) || j < len(b); k++ {
+		switch {
+		case j == len(b) || (i < len(a) && cellLess(a[i], b[j])):
+			out[k] = a[i]
+			i++
+		case i == len(a) || cellLess(b[j], a[i]):
+			out[k] = b[j]
+			j++
+		default:
+			out[k] = a[i]
+			out[k].Score += b[j].Score
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// cellLess orders cells by (U, T, V), the canonical cuboid order.
+func cellLess(a, b Cell) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.V < b.V
+}
+
+func sameKey(a, b Cell) bool { return a.U == b.U && a.T == b.T && a.V == b.V }
+
+// sortCellsStable is an insertion-friendly stable merge sort over
+// cells by (U, T, V). Stability is load-bearing: duplicate keys keep
+// insertion (stream) order, so their float score sum is grouped
+// left-to-right by arrival regardless of how appends were batched.
+func sortCellsStable(cells []Cell) {
+	if len(cells) < 2 {
+		return
+	}
+	buf := make([]Cell, len(cells))
+	copy(buf, cells)
+	mergeSortCells(buf, cells)
+}
+
+// mergeSortCells sorts src into dst (both initially equal copies),
+// alternating roles down the recursion — the classic allocation-free
+// top-down merge sort.
+func mergeSortCells(src, dst []Cell) {
+	if len(src) < 2 {
+		return
+	}
+	mid := len(src) / 2
+	mergeSortCells(dst[:mid], src[:mid])
+	mergeSortCells(dst[mid:], src[mid:])
+	i, j := 0, mid
+	for k := range dst {
+		if i < mid && (j == len(src) || !cellLess(src[j], src[i])) {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+	}
+}

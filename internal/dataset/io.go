@@ -127,6 +127,43 @@ func (d *Interactions) SaveJSONLFile(path string) error {
 	return atomicfile.Write(path, d.WriteJSONL)
 }
 
+// AppendJSONLFile appends events[from:] to path without rewriting the
+// existing contents, so a long-lived producer can emit a growing log
+// incrementally instead of atomically replacing the whole file per
+// flush. It returns the new high-water mark (NumEvents) to pass as from
+// on the next call:
+//
+//	n, _ := d.AppendJSONLFile(path, n) // flush everything added since last flush
+//
+// Each call lands as a single O_APPEND write, so concurrent appenders
+// to one file interleave at line granularity, never mid-record. Unlike
+// SaveJSONLFile this is not crash-atomic — a torn final line is the
+// crash signature — which is the trade for never rewriting; readers
+// needing crash-safe framing should consume an ingest.Log instead.
+func (d *Interactions) AppendJSONLFile(path string, from int) (int, error) {
+	n := len(d.events)
+	if from < 0 || from > n {
+		return from, fmt.Errorf("dataset: append from %d outside [0, %d]", from, n)
+	}
+	if from == n {
+		return n, nil
+	}
+	err := atomicfile.Append(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, e := range d.events[from:n] {
+			rec := jsonlRecord{User: d.userIDs[e.User], Item: d.itemIDs[e.Item], Time: e.Time, Score: e.Score}
+			if err := enc.Encode(&rec); err != nil {
+				return fmt.Errorf("dataset: append jsonl: %w", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return from, err
+	}
+	return n, nil
+}
+
 // LoadJSONLFile reads a log from path.
 func LoadJSONLFile(path string) (*Interactions, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,402 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tcam/internal/faultinject"
+)
+
+func rec(i int) Record {
+	return Record{
+		User:  fmt.Sprintf("u%03d", i%7),
+		Item:  fmt.Sprintf("v%03d", i%11),
+		Time:  int64(i),
+		Score: 1 + float64(i%3),
+	}
+}
+
+func collect(t *testing.T, l *Log, from int64) []Record {
+	t.Helper()
+	var out []Record
+	want := from
+	if err := l.Replay(from, func(off int64, r Record) error {
+		if off != want {
+			t.Fatalf("replay offset %d, want %d", off, want)
+		}
+		want++
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if l.End() != 0 {
+		t.Fatalf("fresh log End = %d, want 0", l.End())
+	}
+	var want []Record
+	for i := 0; i < 25; i++ {
+		want = append(want, rec(i))
+	}
+	end, err := l.Append(want[:10]...)
+	if err != nil || end != 10 {
+		t.Fatalf("Append = %d, %v; want 10, nil", end, err)
+	}
+	end, err = l.Append(want[10:]...)
+	if err != nil || end != 25 {
+		t.Fatalf("Append = %d, %v; want 25, nil", end, err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if tail := collect(t, l, 20); len(tail) != 5 || tail[0] != want[20] {
+		t.Fatalf("Replay(20) returned %d records starting %+v", len(tail), tail[0])
+	}
+}
+
+func TestReopenResumesOffsets(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(rec(0), rec(1), rec(2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.End() != 3 {
+		t.Fatalf("reopened End = %d, want 3", l2.End())
+	}
+	if _, err := l2.Append(rec(3)); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 4 || got[3] != rec(3) {
+		t.Fatalf("after reopen got %d records, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLimit(dir, 128) // tiny segments force rotation
+	if err != nil {
+		t.Fatalf("OpenLimit: %v", err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	bases, err := segmentBases(dir)
+	if err != nil {
+		t.Fatalf("segmentBases: %v", err)
+	}
+	if len(bases) < 3 {
+		t.Fatalf("expected >=3 segments after %d tiny appends, got %d", n, len(bases))
+	}
+	if got := collect(t, l, 0); len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+	// Replay from an offset inside a later segment.
+	mid := int64(n / 2)
+	if got := collect(t, l, mid); len(got) != n-int(mid) || got[0] != rec(int(mid)) {
+		t.Fatalf("Replay(%d) wrong: %d records, first %+v", mid, len(got), got[0])
+	}
+	// Reopen sees the same content.
+	l2, err := OpenLimit(dir, 128)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.End() != n {
+		t.Fatalf("reopened End = %d, want %d", l2.End(), n)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(rec(0), rec(1), rec(2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Simulate a crash mid-append: a partial frame lands at the tail.
+	path := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	var torn [7]byte
+	binary.LittleEndian.PutUint32(torn[:4], 400) // length promises more bytes than exist
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	if l2.End() != 3 {
+		t.Fatalf("End after recovery = %d, want 3", l2.End())
+	}
+	// The torn bytes are gone: appends resume cleanly.
+	if _, err := l2.Append(rec(3)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 4 || got[3] != rec(3) {
+		t.Fatalf("after recovery got %d records, last %+v", len(got), got[len(got)-1])
+	}
+}
+
+func TestMidLogCorruptionRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLimit(dir, 64) // force at least two segments
+	if err != nil {
+		t.Fatalf("OpenLimit: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	bases, err := segmentBases(dir)
+	if err != nil || len(bases) < 2 {
+		t.Fatalf("need >=2 segments, got %d (err %v)", len(bases), err)
+	}
+	// Flip a byte in the FIRST segment: not explicable by a torn append.
+	path := filepath.Join(dir, segName(bases[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[frameHdr+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenLimit(dir, 64); err == nil {
+		t.Fatal("Open accepted mid-log corruption")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, bad := range []Record{
+		{User: "", Item: "v", Time: 1, Score: 1},
+		{User: "u", Item: "", Time: 1, Score: 1},
+		{User: "u", Item: "v", Time: 1, Score: 0},
+		{User: "u", Item: "v", Time: 1, Score: -2},
+	} {
+		if _, err := l.Append(bad); err == nil {
+			t.Fatalf("Append accepted invalid record %+v", bad)
+		}
+	}
+	if l.End() != 0 {
+		t.Fatalf("failed appends advanced End to %d", l.End())
+	}
+}
+
+func TestAppendFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(rec(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	injected := errors.New("disk on fire")
+	faultinject.SetErr("ingest.append", faultinject.ErrorsN(1, injected))
+	if _, err := l.Append(rec(1)); !errors.Is(err, injected) {
+		t.Fatalf("Append under fault = %v, want injected error", err)
+	}
+	if l.End() != 1 {
+		t.Fatalf("failed append advanced End to %d", l.End())
+	}
+	// The hook fails once; the retry lands and nothing was lost or doubled.
+	if _, err := l.Append(rec(1)); err != nil {
+		t.Fatalf("Append retry: %v", err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 2 || got[0] != rec(0) || got[1] != rec(1) {
+		t.Fatalf("after fault+retry got %v", got)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const workers, per = 8, 20
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(rec(w*per + i)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if l.End() != workers*per {
+		t.Fatalf("End = %d, want %d", l.End(), workers*per)
+	}
+	seen := make(map[int64]bool)
+	if err := l.Replay(0, func(off int64, r Record) error {
+		if seen[off] {
+			return fmt.Errorf("offset %d replayed twice", off)
+		}
+		seen[off] = true
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("replayed %d records, want %d", len(seen), workers*per)
+	}
+}
+
+// TestRefreshSeesExternalAppends: a tailing reader handle picks up
+// records appended through a separate writer handle (the producer /
+// server process split) only after Refresh.
+func TestRefreshSeesExternalAppends(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open writer: %v", err)
+	}
+	reader, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open reader: %v", err)
+	}
+	if _, err := writer.Append(rec(0), rec(1), rec(2)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := reader.End(); got != 0 {
+		t.Fatalf("reader End before Refresh = %d, want 0 (stale view)", got)
+	}
+	end, err := reader.Refresh()
+	if err != nil || end != 3 {
+		t.Fatalf("Refresh = (%d, %v), want (3, nil)", end, err)
+	}
+	if got := collect(t, reader, 0); len(got) != 3 {
+		t.Fatalf("replay after Refresh saw %d records, want 3", len(got))
+	}
+	// Refresh also repositions the reader's own append cursor.
+	if _, err := reader.Append(rec(3)); err != nil {
+		t.Fatalf("Append after Refresh: %v", err)
+	}
+	if _, err := writer.Refresh(); err != nil {
+		t.Fatalf("writer Refresh: %v", err)
+	}
+	if got := collect(t, writer, 0); len(got) != 4 {
+		t.Fatalf("writer replay saw %d records, want 4", len(got))
+	}
+}
+
+// TestRefreshLeavesInFlightTailAlone: an incomplete trailing frame — a
+// live writer's in-flight append — is invisible to Refresh but NOT
+// truncated, so the writer can complete it.
+func TestRefreshLeavesInFlightTailAlone(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(rec(0), rec(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Hand-write a partial frame: a header claiming 400 payload bytes
+	// with only 3 present.
+	path := filepath.Join(dir, segName(0))
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := make([]byte, frameHdr+3)
+	binary.LittleEndian.PutUint32(partial, 400)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(partial); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	end, err := l.Refresh()
+	if err != nil || end != 2 {
+		t.Fatalf("Refresh = (%d, %v), want (2, nil)", end, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(full)+len(partial) {
+		t.Fatalf("Refresh changed the segment size: %d -> %d bytes", len(full)+len(partial), len(after))
+	}
+	if got := collect(t, l, 0); len(got) != 2 {
+		t.Fatalf("replay saw %d records, want 2", len(got))
+	}
+}
+
+// TestRefreshRejectsRewrittenLog: a directory whose durable prefix
+// shrank under a live handle is not a log anymore.
+func TestRefreshRejectsRewrittenLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(rec(0), rec(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, segName(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Refresh(); err == nil {
+		t.Fatal("Refresh accepted a log whose records vanished")
+	}
+}

@@ -1,0 +1,339 @@
+package ttcam
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"tcam/internal/cuboid"
+	"tcam/internal/ingest"
+)
+
+// foldBootWorld is the frozen pre-stream dataset behind
+// testdata/foldin_model.gob: the first 20 users of the engine world.
+func foldBootWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	b := cuboid.NewBuilder(20, 6, 25)
+	for u := 0; u < 20; u++ {
+		for t := 0; t < 6; t++ {
+			b.MustAdd(u, t, (u*3+t*7)%25, 1+float64((u+t)%4))
+			b.MustAdd(u, t, (u+t*t)%25, 1)
+			if (u+t)%3 == 0 {
+				b.MustAdd(u, t, (u*5+t)%25, 2)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// foldStream is the deterministic event stream that introduces users
+// 20..29; IDs encode dense indices and Time is the interval directly.
+func foldStream(tb testing.TB) []ingest.Record {
+	tb.Helper()
+	var recs []ingest.Record
+	for u := 20; u < 30; u++ {
+		for t := 0; t < 6; t++ {
+			recs = append(recs, ingest.Record{
+				User: fmt.Sprintf("u%02d", u), Item: fmt.Sprintf("v%02d", (u*3+t*7)%25),
+				Time: int64(t), Score: 1 + float64((u+t)%4),
+			})
+			recs = append(recs, ingest.Record{
+				User: fmt.Sprintf("u%02d", u), Item: fmt.Sprintf("v%02d", (u+t*t)%25),
+				Time: int64(t), Score: 1,
+			})
+		}
+	}
+	return recs
+}
+
+// foldGrownWorld replays the stream through a real ingest log and
+// extends the boot cuboid with ApplyDelta, as the server's updater does.
+func foldGrownWorld(tb testing.TB) *cuboid.Cuboid {
+	tb.Helper()
+	log, err := ingest.Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	recs := foldStream(tb)
+	if _, err := log.Append(recs[:len(recs)/2]...); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := log.Append(recs[len(recs)/2:]...); err != nil {
+		tb.Fatal(err)
+	}
+	boot := foldBootWorld(tb)
+	d := cuboid.NewDelta(30, 6, 25)
+	if err := log.Replay(0, func(_ int64, r ingest.Record) error {
+		u, err := strconv.Atoi(r.User[1:])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.Atoi(r.Item[1:])
+		if err != nil {
+			return err
+		}
+		return d.Add(u, int(r.Time), v, r.Score)
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	grown, err := boot.ApplyDelta(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return grown
+}
+
+func foldBootModel(tb testing.TB, background float64) *Model {
+	tb.Helper()
+	cfg := engineConfig()
+	cfg.Background = background
+	m, _, err := Train(foldBootWorld(tb), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func foldConfig() FoldInConfig {
+	return FoldInConfig{Iters: 3, Smoothing: 1e-9, Shards: 2}
+}
+
+// extendUniform replicates FoldInUsers' initialization — test-side copy
+// so the comparator cannot share code with the path under test.
+func extendUniform(m *Model, n int) *Model {
+	out := m.clone()
+	oldN := m.numUsers
+	out.numUsers = n
+	theta := make([]float64, n*m.k1)
+	copy(theta, m.theta)
+	for i := oldN * m.k1; i < len(theta); i++ {
+		theta[i] = 1 / float64(m.k1)
+	}
+	out.theta = theta
+	lambda := make([]float64, n)
+	copy(lambda, m.lambda)
+	for u := oldN; u < n; u++ {
+		lambda[u] = 0.5
+	}
+	out.lambda = lambda
+	return out
+}
+
+// batchReference runs iters rounds of single-shard batch EM over ALL
+// users of data starting from boot extended with uniform new rows, with
+// globals frozen (updateGlobals=false, the regime fold-in must match
+// bit-for-bit) or the full M-step (true, the regime it drifts from).
+func batchReference(tb testing.TB, boot *Model, data *cuboid.Cuboid, iters int, updateGlobals bool) *Model {
+	tb.Helper()
+	n := data.NumUsers()
+	m := extendUniform(boot, n)
+	tr := &trainer{
+		m:      m,
+		data:   data,
+		cfg:    Config{K1: m.k1, K2: m.k2, MaxIters: 1, Smoothing: 1e-9, Background: m.backgroundW},
+		theta:  make([]float64, len(m.theta)),
+		lamNum: make([]float64, n),
+		lamDen: make([]float64, n),
+		phiT:   make([]float64, len(m.phi)),
+		phiXT:  make([]float64, len(m.phiX)),
+	}
+	tr.refreshTransposes()
+	acc := tr.NewAccum(0, 0, n).(*accum)
+	for it := 0; it < iters; it++ {
+		acc.Reset()
+		tr.EStep(acc)
+		if updateGlobals {
+			tr.MStep(acc)
+		} else {
+			tr.FoldStep(acc, 0, n)
+		}
+	}
+	return m
+}
+
+// TestFoldInBitIdenticalToRestrictedBatch is the fold-in guarantee for
+// TTCAM, checked for both the plain and background-mixture variants and
+// across shard/worker splits.
+func TestFoldInBitIdenticalToRestrictedBatch(t *testing.T) {
+	for _, bg := range []float64{0, 0.1} {
+		t.Run(fmt.Sprintf("background=%v", bg), func(t *testing.T) {
+			boot := foldBootModel(t, bg)
+			grown := foldGrownWorld(t)
+			const oldN = 20
+			cfg := foldConfig()
+			want := batchReference(t, boot, grown, cfg.Iters, false)
+
+			for _, shards := range []int{1, 2, 4} {
+				for _, workers := range []int{1, 8} {
+					cfg := cfg
+					cfg.Shards, cfg.Workers = shards, workers
+					got, err := boot.FoldInUsers(grown, cfg)
+					if err != nil {
+						t.Fatalf("FoldInUsers(shards=%d, workers=%d): %v", shards, workers, err)
+					}
+					label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+					if !bitsEqual(got.theta[oldN*got.k1:], want.theta[oldN*want.k1:]) {
+						t.Errorf("%s: folded theta rows differ from restricted batch EM", label)
+					}
+					if !bitsEqual(got.lambda[oldN:], want.lambda[oldN:]) {
+						t.Errorf("%s: folded lambda differs from restricted batch EM", label)
+					}
+					if !bitsEqual(got.theta[:oldN*got.k1], boot.theta) ||
+						!bitsEqual(got.lambda[:oldN], boot.lambda) ||
+						!bitsEqual(got.phi, boot.phi) || !bitsEqual(got.thetaTx, boot.thetaTx) ||
+						!bitsEqual(got.phiX, boot.phiX) || !bitsEqual(got.background, boot.background) {
+						t.Errorf("%s: fold-in mutated frozen parameters", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFoldInFixture pins the stream → ingest replay → ApplyDelta →
+// FoldInUsers pipeline to a committed gob fixture (background variant,
+// so the fourth mixture path is exercised too). Regenerate with
+// TCAM_UPDATE_FIXTURES=1.
+func TestFoldInFixture(t *testing.T) {
+	boot := foldBootModel(t, 0.1)
+	got, err := boot.FoldInUsers(foldGrownWorld(t), foldConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/foldin_model.gob"
+	if os.Getenv("TCAM_UPDATE_FIXTURES") != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("fixture regenerated")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameModel(t, "fold-in fixture", got, want)
+}
+
+// TestFoldInDriftFromFullBatch: once real batch EM updates the global
+// topics, the folded interests drift — nonzero but bounded.
+func TestFoldInDriftFromFullBatch(t *testing.T) {
+	boot := foldBootModel(t, 0)
+	grown := foldGrownWorld(t)
+	const oldN = 20
+	cfg := foldConfig()
+	folded, err := boot.FoldInUsers(grown, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := batchReference(t, boot, grown, cfg.Iters, true)
+
+	var totalL1 float64
+	k1 := folded.k1
+	for u := oldN; u < folded.numUsers; u++ {
+		for z := 0; z < k1; z++ {
+			totalL1 += math.Abs(folded.theta[u*k1+z] - full.theta[u*k1+z])
+		}
+	}
+	mean := totalL1 / float64(folded.numUsers-oldN)
+	if mean == 0 {
+		t.Error("fold-in and full batch EM agree exactly after multiple rounds; the drift metric is vacuous")
+	}
+	if mean > 0.5 {
+		t.Errorf("mean per-user theta L1 drift %v exceeds 0.5; fold-in has diverged from batch EM", mean)
+	}
+	t.Logf("mean per-user theta L1 drift vs full batch EM: %.6f", mean)
+}
+
+func TestFoldInValidation(t *testing.T) {
+	boot := foldBootModel(t, 0)
+	cfg := foldConfig()
+	if _, err := boot.FoldInUsers(cuboid.NewBuilder(30, 7, 25).Build(), cfg); err == nil {
+		t.Error("FoldInUsers accepted a cuboid with mismatched intervals")
+	}
+	if _, err := boot.FoldInUsers(cuboid.NewBuilder(30, 6, 26).Build(), cfg); err == nil {
+		t.Error("FoldInUsers accepted a cuboid with mismatched items")
+	}
+	if _, err := boot.FoldInUsers(cuboid.NewBuilder(10, 6, 25).Build(), cfg); err == nil {
+		t.Error("FoldInUsers accepted a shrinking user dimension")
+	}
+	same, err := boot.FoldInUsers(foldBootWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameModel(t, "no-op fold-in", same, boot)
+	cfg.Iters = 0
+	if _, err := boot.FoldInUsers(foldGrownWorld(t), cfg); err == nil {
+		t.Error("FoldInUsers accepted Iters=0")
+	}
+}
+
+func TestGrowAddsIntervalAndItems(t *testing.T) {
+	boot := foldBootModel(t, 0.1)
+	// New interval 6's context over the K2 time topics, fitted from its
+	// ratings; items are capped to the trained catalog inside the fit.
+	ctx := boot.FitNewInterval(map[int]float64{3: 2, 7: 1, 11: 4}, 5)
+	grownM, err := boot.Grow(7, 28, [][]float64{ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grownM.NumIntervals() != 7 || grownM.NumItems() != 28 || grownM.NumUsers() != boot.NumUsers() {
+		t.Fatalf("grown dims %d users × %d intervals × %d items", grownM.NumUsers(), grownM.NumIntervals(), grownM.NumItems())
+	}
+	// Old scores are preserved bit-for-bit.
+	for u := 0; u < boot.numUsers; u += 7 {
+		for tt := 0; tt < 6; tt++ {
+			for v := 0; v < 25; v += 5 {
+				if math.Float64bits(grownM.Score(u, tt, v)) != math.Float64bits(boot.Score(u, tt, v)) {
+					t.Fatalf("Score(%d,%d,%d) changed after Grow", u, tt, v)
+				}
+			}
+		}
+	}
+	// The new interval scores old items through its fitted context.
+	if grownM.Score(0, 6, 3) <= 0 {
+		t.Error("new interval gives no mass to an item its context observed")
+	}
+	// TTCAM's structural limitation: a brand-new item has zero mass under
+	// the frozen time topics, in every interval, until a full retrain.
+	for tt := 0; tt < 7; tt++ {
+		if got := grownM.Score(0, tt, 26); got != 0 {
+			t.Errorf("new item scored %v in interval %d under frozen time topics", got, tt)
+		}
+	}
+	// The grown model round-trips the wire format.
+	var buf bytes.Buffer
+	if err := grownM.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameModel(t, "grown round-trip", back, grownM)
+
+	// Validation.
+	if _, err := boot.Grow(7, 24, [][]float64{ctx}); err == nil {
+		t.Error("Grow accepted an item shrink")
+	}
+	if _, err := boot.Grow(8, 28, [][]float64{ctx}); err == nil {
+		t.Error("Grow accepted an interval count without matching contexts")
+	}
+	if _, err := boot.Grow(7, 28, [][]float64{ctx[:2]}); err == nil {
+		t.Error("Grow accepted a short context row")
+	}
+}

@@ -37,6 +37,10 @@ type Server struct {
 	// serving the same partition.
 	itemLo, itemHi int
 
+	// ingestStat is the attached Updater's view for /healthz; nil until
+	// an updater attaches (updater.go).
+	ingestStat atomic.Pointer[ingestStatus]
+
 	reloadMu sync.Mutex // serializes Reload/ReloadFromSource
 	reload   func() (*index.Bundle, error)
 	logger   *log.Logger

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"tcam/internal/faultinject"
 	"tcam/internal/index"
@@ -116,15 +117,16 @@ func (s *Server) snapshot() *snapshot { return s.snap.Load() }
 // shard mode, where it names the [lo, hi) window of the catalog this
 // instance indexes.
 type healthResponse struct {
-	Status    string         `json:"status"`
-	ModelKind string         `json:"model_kind"`
-	Users     int            `json:"users"`
-	Items     int            `json:"items"`
-	Intervals int            `json:"intervals"`
-	Topics    int            `json:"topics"`
-	Version   uint64         `json:"version"`
-	Draining  bool           `json:"draining,omitempty"`
-	ItemRange *itemRangeBody `json:"item_range,omitempty"`
+	Status    string            `json:"status"`
+	ModelKind string            `json:"model_kind"`
+	Users     int               `json:"users"`
+	Items     int               `json:"items"`
+	Intervals int               `json:"intervals"`
+	Topics    int               `json:"topics"`
+	Version   uint64            `json:"version"`
+	Draining  bool              `json:"draining,omitempty"`
+	ItemRange *itemRangeBody    `json:"item_range,omitempty"`
+	Ingest    *ingestHealthBody `json:"ingest,omitempty"`
 }
 
 // itemRangeBody is a contiguous [Lo, Hi) catalog window in JSON form.
@@ -152,6 +154,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.itemLo != 0 || s.itemHi != 0 {
 		resp.ItemRange = &itemRangeBody{Lo: s.itemLo, Hi: s.itemHi}
 	}
+	resp.Ingest = s.ingestHealth(time.Now())
 	writeJSON(w, http.StatusOK, resp)
 }
 

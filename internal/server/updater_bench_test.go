@@ -1,0 +1,58 @@
+package server
+
+// Streaming-loop benchmarks (ISSUE 9): fold-in latency (one updater
+// cycle over a freshly appended event, including the Advance re-derive)
+// and snapshot publish latency (the atomic swap alone), snapshotted
+// into BENCH_ingest.json by scripts/bench_ingest.sh.
+
+import (
+	"fmt"
+	"testing"
+
+	"tcam/internal/ingest"
+)
+
+// BenchmarkUpdaterStep measures one full ingest cycle: refresh the log,
+// replay one new event, re-derive the grown bundle from boot, and
+// publish. This is the serving-lag floor per event at batch size 1.
+func BenchmarkUpdaterStep(b *testing.B) {
+	dir := b.TempDir()
+	_, up := updaterFixture(b, dir)
+	producer, err := ingest.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := ingest.Record{
+			User:  fmt.Sprintf("late-%03d", i%256),
+			Item:  fmt.Sprintf("item-%d", i%12),
+			Time:  100 + int64(i%30),
+			Score: 1,
+		}
+		if _, err := producer.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		if published, err := up.Step(); err != nil || !published {
+			b.Fatalf("Step = (%v, %v)", published, err)
+		}
+	}
+}
+
+// BenchmarkSnapshotPublish isolates the publish end: validating and
+// atomically swapping an already-built bundle into the serving path.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	boot := makeBundle(b, 6, 12)
+	srv, err := New(boot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Reload(boot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

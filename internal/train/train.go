@@ -320,12 +320,18 @@ func Run(t Trainable, cfg Config) (model.TrainStats, error) {
 	return stats, nil
 }
 
+// eStepper is the E-step surface shared by batch training (Trainable)
+// and fold-in (UserFolder): runShards only needs this much.
+type eStepper interface {
+	EStep(a Accum)
+}
+
 // runShards executes the E-step of every accumulator across the worker
 // pool. Each shard writes only its own accumulator (plus disjoint
 // user-sharded rows of any state the Trainable shares between them), so
 // execution order is irrelevant; determinism comes from the ordered
 // merge afterwards.
-func runShards(t Trainable, accums []Accum, workers int) {
+func runShards(t eStepper, accums []Accum, workers int) {
 	if len(accums) == 0 {
 		return
 	}

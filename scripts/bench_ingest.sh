@@ -1,0 +1,59 @@
+#!/bin/sh
+# Runs the streaming-ingestion benchmarks (ISSUE 9) and snapshots the
+# numbers into BENCH_ingest.json at the repo root:
+#
+#   - internal/ingest append (single-record fsync'd and 128-record
+#     batched) and full-log replay, each reporting events/s;
+#   - internal/server updater cycle (fold-in latency per event at batch
+#     size 1) and the isolated snapshot publish swap.
+#
+# Pass a -benchtime value as $1 to trade precision for runtime
+# (default 1s).
+#
+# Usage: scripts/bench_ingest.sh [benchtime]
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-1s}
+out=BENCH_ingest.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# run_bench <pkg> <bench regex>: one go test invocation appended to
+# $raw, failing loudly when the regex matches no benchmark.
+run_bench() {
+    pkg=$1
+    pattern=$2
+    step=$(mktemp)
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+        "$pkg" | tee "$step"
+    if ! grep -q '^Benchmark' "$step"; then
+        rm -f "$step"
+        echo "bench_ingest.sh: no benchmarks matched '$pattern' in $pkg" >&2
+        exit 1
+    fi
+    cat "$step" >> "$raw"
+    rm -f "$step"
+}
+
+run_bench ./internal/ingest/ 'BenchmarkAppend$|BenchmarkAppendBatch$|BenchmarkReplay$'
+run_bench ./internal/server/ 'BenchmarkUpdaterStep$|BenchmarkSnapshotPublish$'
+
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "events/s")  line = line sprintf(", \"events_per_s\": %s", $i)
+        if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    line = line "}"
+    if (n++) printf ",\n"
+    printf "%s", line
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+echo "wrote $out"

@@ -9,7 +9,9 @@
 #      both TCAM variants (scripts/bench_train.sh -smoke);
 #   3. the sharded-parallel EM benchmark must still run, so a refactor
 #      cannot silently break the GOMAXPROCS sweep between full bench
-#      runs.
+#      runs;
+#   4. the streaming-ingestion benchmarks (scripts/bench_ingest.sh)
+#      must still run.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu
@@ -30,4 +32,12 @@ scripts/bench_train.sh -smoke
 
 go test -run '^$' -bench 'BenchmarkEMIterationParallel$' -benchtime 1x \
     ./internal/model/itcam/ ./internal/model/ttcam/ >/dev/null
+
+# The streaming-ingestion benchmarks must still run (full numbers come
+# from scripts/bench_ingest.sh, which also snapshots BENCH_ingest.json;
+# this is the does-it-still-build gate, so it writes nothing).
+go test -run '^$' -bench 'BenchmarkAppend$|BenchmarkReplay$' -benchtime 1x \
+    ./internal/ingest/ >/dev/null
+go test -run '^$' -bench 'BenchmarkUpdaterStep$|BenchmarkSnapshotPublish$' -benchtime 1x \
+    ./internal/server/ >/dev/null
 echo "bench_smoke.sh: OK"

@@ -31,12 +31,14 @@ go run ./cmd/tcamvet ./...
 scripts/check_bce.sh
 
 # The packages where scratch reuse, pooling, snapshot swaps, limiter
-# counters or fault hooks could race, plus the signal-driven lifecycle,
+# counters or fault hooks could race, plus the ingest log (single
+# writer, concurrent readers), the signal-driven lifecycle,
 # the sharded EM training engine and the scatter-gather serving tier
 # (coordinator fan-out, hedged requests, circuit breakers).
 go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/ \
     ./internal/faultinject/... ./internal/client/ ./internal/atomicfile/ \
-    ./internal/train/ ./internal/shard/ ./cmd/tcamserver/ ./cmd/tcamshard/
+    ./internal/ingest/ ./internal/train/ ./internal/shard/ \
+    ./cmd/tcamserver/ ./cmd/tcamshard/
 
 if [ "${1:-}" != "-short" ]; then
     go test ./...
