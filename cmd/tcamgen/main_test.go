@@ -21,7 +21,7 @@ func TestParseProfile(t *testing.T) {
 
 func TestRunWritesLog(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "log.jsonl")
-	if err := run("digg", out, 3, 50, 80, 20, false, 256); err != nil {
+	if err := run("digg", out, 3, 50, 80, 20, false, 256, "", queryConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	log, err := dataset.LoadJSONLFile(out)
@@ -37,13 +37,13 @@ func TestRunWritesLog(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("digg", "", 1, 0, 0, 0, false, 256); err == nil {
+	if err := run("digg", "", 1, 0, 0, 0, false, 256, "", queryConfig{}); err == nil {
 		t.Error("run accepted empty output path")
 	}
-	if err := run("bogus", filepath.Join(t.TempDir(), "x"), 1, 0, 0, 0, false, 256); err == nil {
+	if err := run("bogus", filepath.Join(t.TempDir(), "x"), 1, 0, 0, 0, false, 256, "", queryConfig{}); err == nil {
 		t.Error("run accepted unknown profile")
 	}
-	if err := run("digg", filepath.Join(t.TempDir(), "x"), 1, -5, 0, 0, false, 256); err == nil {
+	if err := run("digg", filepath.Join(t.TempDir(), "x"), 1, -5, 0, 0, false, 256, "", queryConfig{}); err == nil {
 		// negative override leaves defaults; generation succeeds, so no
 		// error expected — verify that explicitly.
 		t.Log("negative user override fell back to defaults (expected)")
@@ -55,7 +55,7 @@ func TestRunErrors(t *testing.T) {
 // generated event, and the stream is deterministic per seed.
 func TestRunStreamWritesTimeOrderedLog(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "stream.log")
-	if err := run("digg", dir, 3, 40, 60, 15, true, 64); err != nil {
+	if err := run("digg", dir, 3, 40, 60, 15, true, 64, "", queryConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	lg, err := ingest.Open(dir)
@@ -79,7 +79,7 @@ func TestRunStreamWritesTimeOrderedLog(t *testing.T) {
 	}
 	// The stream carries exactly the dataset the batch mode would write.
 	out := filepath.Join(t.TempDir(), "log.jsonl")
-	if err := run("digg", out, 3, 40, 60, 15, false, 256); err != nil {
+	if err := run("digg", out, 3, 40, 60, 15, false, 256, "", queryConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	log, err := dataset.LoadJSONLFile(out)
@@ -92,7 +92,7 @@ func TestRunStreamWritesTimeOrderedLog(t *testing.T) {
 	// Determinism: a second run into a fresh directory replays the same
 	// end offset (the driver for reproducible load tests).
 	dir2 := filepath.Join(t.TempDir(), "stream2.log")
-	if err := run("digg", dir2, 3, 40, 60, 15, true, 32); err != nil {
+	if err := run("digg", dir2, 3, 40, 60, 15, true, 32, "", queryConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	lg2, err := ingest.Open(dir2)
@@ -113,7 +113,7 @@ func TestRunStreamWritesTimeOrderedLog(t *testing.T) {
 		t.Fatalf("second run replayed %d records, want %d", i, len(recs))
 	}
 	// A bad batch size is rejected.
-	if err := run("digg", filepath.Join(t.TempDir(), "z"), 1, 20, 30, 5, true, 0); err == nil {
-		t.Error("run accepted -batch 0")
+	if err := run("digg", filepath.Join(t.TempDir(), "z"), 1, 20, 30, 5, true, 0, "", queryConfig{}); err == nil {
+		t.Error("run accepted -batch 0", "", queryConfig{})
 	}
 }

@@ -8,18 +8,22 @@
 //	tcamquery -bundle digg.tcam -users u00042,u00091,u00007 -time 37 [-k 10]
 //	tcamquery -server http://localhost:8080 -user u00042 -time 37 [-k 10]
 //	tcamquery -server http://localhost:8080 -users u00042,u00091 -time 37
+//	tcamquery -server http://localhost:8080 -users @load.jsonl
 //	tcamquery -server http://localhost:8080 -health [-json]
 //
 // With -health, no query runs: the server's /healthz summary is
 // printed instead — snapshot version and, when the server tails an
 // ingest log, the log offset, lag and staleness, so operators can see
-// how far serving lags the event stream.
+// how far serving lags the event stream. Targets running a result
+// cache additionally report hit/miss counters and the live epoch.
 //
 // With -users, all queries run as one batch: locally through the
 // parallel serving path (pooled Threshold-Algorithm scratch per
 // worker), remotely as a single /recommend/batch round trip. Remote
 // calls retry shed (429) and unavailable (503) responses with jittered
-// backoff, honoring the server's Retry-After hint.
+// backoff, honoring the server's Retry-After hint. `-users @load.jsonl`
+// reads the batch from a workload file written by `tcamgen -queries`
+// instead — each line's own time/k/exclude win over the flags.
 //
 // When -server points at a shard coordinator (cmd/tcamshard) that is
 // running degraded, the answer is still printed but flagged with the
@@ -45,7 +49,7 @@ func main() {
 		bundle  = flag.String("bundle", "", "trained bundle path (local mode)")
 		server  = flag.String("server", "", "tcamserver base URL (remote mode, e.g. http://localhost:8080)")
 		user    = flag.String("user", "", "user identifier")
-		users   = flag.String("users", "", "comma-separated user identifiers (batch mode)")
+		users   = flag.String("users", "", "comma-separated user identifiers, or @file naming a JSONL query workload (batch mode)")
 		when    = flag.Int64("time", 0, "query time in dataset ticks")
 		k       = flag.Int("k", 10, "number of recommendations")
 		exclude = flag.String("exclude", "", "comma-separated item IDs to exclude")
@@ -110,18 +114,31 @@ func runBatch(bundlePath, users string, when int64, k int, exclude string) error
 		return err
 	}
 	banned := splitList(exclude)
-	ids := strings.Split(users, ",")
-	queries := make([]tcam.BatchQuery, len(ids))
-	for i, id := range ids {
-		queries[i] = tcam.BatchQuery{UserID: id, When: when, K: k, ExcludeIDs: banned}
+	var queries []tcam.BatchQuery
+	if path, ok := workloadRef(users); ok {
+		load, err := loadWorkload(path, when, k, banned)
+		if err != nil {
+			return err
+		}
+		queries = make([]tcam.BatchQuery, len(load))
+		for i, q := range load {
+			queries[i] = tcam.BatchQuery{UserID: q.User, When: q.Time, K: q.K, ExcludeIDs: q.Exclude}
+		}
+	} else {
+		ids := strings.Split(users, ",")
+		queries = make([]tcam.BatchQuery, len(ids))
+		for i, id := range ids {
+			queries[i] = tcam.BatchQuery{UserID: id, When: when, K: k, ExcludeIDs: banned}
+		}
 	}
 	results, err := rec.RecommendBatch(queries)
 	if err != nil {
 		return err
 	}
 	for i, recs := range results {
+		q := queries[i]
 		fmt.Printf("top-%d for %s at t=%d (interval %d):\n",
-			k, ids[i], when, rec.Grid().IntervalOf(when))
+			q.K, q.UserID, q.When, rec.Grid().IntervalOf(q.When))
 		for j, r := range recs {
 			fmt.Printf("%3d. %-40s %.6g\n", j+1, r.ItemID, r.Score)
 		}
@@ -152,10 +169,17 @@ func runRemote(w io.Writer, baseURL, user, users string, when int64, k int, excl
 		printRemote(w, res, when, k)
 		return nil
 	}
-	ids := strings.Split(users, ",")
-	queries := make([]client.BatchQuery, len(ids))
-	for i, id := range ids {
-		queries[i] = client.BatchQuery{User: id, Time: when, K: k, Exclude: banned}
+	var queries []client.BatchQuery
+	if path, ok := workloadRef(users); ok {
+		if queries, err = loadWorkload(path, when, k, banned); err != nil {
+			return err
+		}
+	} else {
+		ids := strings.Split(users, ",")
+		queries = make([]client.BatchQuery, len(ids))
+		for i, id := range ids {
+			queries[i] = client.BatchQuery{User: id, Time: when, K: k, Exclude: banned}
+		}
 	}
 	batch, err := c.RecommendBatch(ctx, queries)
 	if err != nil {
@@ -165,7 +189,8 @@ func runRemote(w io.Writer, baseURL, user, users string, when int64, k int, excl
 		return emitJSON(w, batch)
 	}
 	for i := range batch.Results {
-		printRemote(w, &batch.Results[i], when, k)
+		q := queries[i]
+		printRemote(w, &batch.Results[i], q.Time, q.K)
 	}
 	if batch.Truncated {
 		_, _ = fmt.Fprintf(w, "(server truncated the batch: %d of %d queries answered)\n",
@@ -199,6 +224,18 @@ func runHealth(w io.Writer, baseURL string, asJSON bool) error {
 		_, _ = fmt.Fprint(w, " (draining)")
 	}
 	_, _ = fmt.Fprintln(w)
+	if c := h.Cache; c != nil {
+		total := c.Hits + c.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(c.Hits) / float64(total)
+		}
+		_, _ = fmt.Fprintf(w, "cache: %d hits / %d misses (%.1f%% hit rate), %d entries, epoch %d\n",
+			c.Hits, c.Misses, 100*rate, c.Entries, c.Epoch)
+		if c.HotPrecomputed > 0 {
+			_, _ = fmt.Fprintf(w, "cache: last publish precomputed %d hot users\n", c.HotPrecomputed)
+		}
+	}
 	if h.Ingest == nil {
 		_, _ = fmt.Fprintln(w, "no ingest log attached (static bundle)")
 		return nil

@@ -68,6 +68,12 @@ type config struct {
 	ingestInterval time.Duration
 	foldIters      int
 
+	// Result caching (DESIGN.md §16): cacheEntries sizes the
+	// epoch-versioned top-k cache (0 disables), precomputeHot warms the
+	// N hottest users' answers at every publish.
+	cacheEntries  int
+	precomputeHot int
+
 	logger  *log.Logger
 	onReady func(addr string) // test hook: fires once the listener is bound and signals are wired
 }
@@ -86,6 +92,8 @@ func main() {
 	flag.StringVar(&cfg.ingestLog, "ingest-log", "", "ingest log directory to tail for continuous fold-in (empty disables)")
 	flag.DurationVar(&cfg.ingestInterval, "ingest-interval", server.DefaultUpdaterInterval, "ingest log poll period")
 	flag.IntVar(&cfg.foldIters, "fold-iters", 0, "partial-EM rounds per fold-in (0 = default)")
+	flag.IntVar(&cfg.cacheEntries, "cache-entries", 0, "epoch-versioned result cache capacity in entries (0 disables)")
+	flag.IntVar(&cfg.precomputeHot, "precompute-hot", 0, "hottest users precomputed into the cache at each publish (needs -cache-entries)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tcamserver:", err)
@@ -212,6 +220,12 @@ func buildServer(cfg config) (*server.Server, *index.Bundle, error) {
 	opts := []server.Option{
 		server.WithLimits(cfg.maxInflight, cfg.maxInflightBatch),
 		server.WithReloader(func() (*index.Bundle, error) { return index.Load(cfg.bundlePath) }),
+	}
+	if cfg.cacheEntries > 0 {
+		opts = append(opts, server.WithCache(cfg.cacheEntries))
+		if cfg.precomputeHot > 0 {
+			opts = append(opts, server.WithHotPrecompute(cfg.precomputeHot))
+		}
 	}
 	if cfg.logger != nil {
 		opts = append(opts, server.WithLogger(cfg.logger))

@@ -60,6 +60,7 @@ type config struct {
 	hedgeQuantile    float64
 	hedgeDefault     time.Duration
 	seed             int64
+	cacheEntries     int
 
 	drainTimeout time.Duration
 
@@ -81,6 +82,7 @@ func main() {
 	flag.Float64Var(&cfg.hedgeQuantile, "hedge-quantile", 0.9, "latency quantile after which a backup request fires")
 	flag.DurationVar(&cfg.hedgeDefault, "hedge-default", 50*time.Millisecond, "hedge delay until the latency window warms up")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for breaker probe jitter")
+	flag.IntVar(&cfg.cacheEntries, "cache-entries", 0, "merged-result cache capacity in entries, epoch-versioned by the observed fleet state (coordinator mode, 0 disables)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 	if err := run(cfg); err != nil {
@@ -226,7 +228,8 @@ func buildCoordinator(cfg config) (*shard.Coordinator, error) {
 			Quantile: cfg.hedgeQuantile,
 			Default:  cfg.hedgeDefault,
 		},
-		Logger: cfg.logger,
+		Logger:       cfg.logger,
+		CacheEntries: cfg.cacheEntries,
 	})
 }
 

@@ -28,8 +28,8 @@ var CtxFlow = &Analyzer{
 }
 
 // ctxFlowPackages are the module-relative packages under the contract:
-// the serving/query path, the streaming ingest log and the
-// long-running training engine.
+// the serving/query path, the streaming ingest log, the long-running
+// training engine and the result cache on the serving hot path.
 var ctxFlowPackages = []string{
 	"/internal/server",
 	"/internal/ingest",
@@ -37,6 +37,7 @@ var ctxFlowPackages = []string{
 	"/internal/topk",
 	"/internal/train",
 	"/internal/shard",
+	"/internal/rescache",
 }
 
 func ctxFlowApplies(p *Pkg) bool {

@@ -185,3 +185,53 @@ func DotUnrolledLeaky(a, b []float64) float64 {
 	}
 	return s
 }
+
+// The result-cache shapes (internal/rescache): generic methods under
+// the annotation must get the same treatment as monomorphic ones — a
+// clean set-scan probe stays clean, and instantiating the entry on the
+// insert path is flagged like any other allocation.
+
+type cacheEntry[V any] struct {
+	key   uint64
+	epoch uint64
+	val   V
+}
+
+type genericCache[V any] struct {
+	slots []*cacheEntry[V]
+}
+
+// Probe is the hit path: comparisons and field loads only.
+//
+//tcam:hotpath
+func (c *genericCache[V]) Probe(epoch, key uint64) (V, bool) {
+	for _, e := range c.slots {
+		if e == nil || e.key != key {
+			continue
+		}
+		if e.epoch != epoch {
+			continue
+		}
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert allocates the boxed entry — which is why the real cache keeps
+// its insert path off the annotation; unannotated generic code stays
+// out of scope.
+func (c *genericCache[V]) Insert(epoch, key uint64, val V) {
+	e := &cacheEntry[V]{key: key, epoch: epoch, val: val}
+	c.slots[key%uint64(len(c.slots))] = e
+}
+
+// Spill allocates a type-parameter-typed scratch slice: the make rule
+// must fire on generic element types too.
+//
+//tcam:hotpath
+func (c *genericCache[V]) Spill(vals []V) int {
+	tmp := make([]V, len(vals)) // want hotpath
+	copy(tmp, vals)
+	return len(tmp)
+}

@@ -163,6 +163,23 @@ type Health struct {
 	// (tcamserver -ingest-log): how far the serving snapshot lags the
 	// durable event stream.
 	Ingest *IngestHealth `json:"ingest,omitempty"`
+	// Cache is present only when the target runs a result cache
+	// (-cache-entries on tcamserver or the coordinator).
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth mirrors the "cache" sub-object of /healthz (DESIGN.md
+// §16): lifetime hit/miss/stale-eviction counters, the live entry
+// count, the epoch current lookups are keyed by, and — on servers with
+// -precompute-hot — how many hot users the last publish warmed.
+type CacheHealth struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stale   uint64 `json:"stale"`
+	Entries int64  `json:"entries"`
+	Epoch   uint64 `json:"epoch"`
+	// HotPrecomputed is absent on coordinators, which never precompute.
+	HotPrecomputed uint64 `json:"hot_precomputed,omitempty"`
 }
 
 // IngestHealth mirrors the "ingest" sub-object of /healthz.

@@ -223,3 +223,32 @@ func TestNewValidates(t *testing.T) {
 		t.Error("New accepted an empty BaseURL")
 	}
 }
+
+// Health surfaces the cache sub-object when the target reports one,
+// and leaves Cache nil when it doesn't.
+func TestHealthDecodesCache(t *testing.T) {
+	body := `{"status":"ok","version":2,"cache":{"hits":40,"misses":8,"stale":3,"entries":12,"epoch":2,"hot_precomputed":5}}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte(body)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts.URL, Config{})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CacheHealth{Hits: 40, Misses: 8, Stale: 3, Entries: 12, Epoch: 2, HotPrecomputed: 5}
+	if h.Cache == nil || *h.Cache != want {
+		t.Fatalf("cache = %+v, want %+v", h.Cache, want)
+	}
+	body = `{"status":"ok","version":2}`
+	h, err = c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache != nil {
+		t.Fatalf("cache body present without caching: %+v", h.Cache)
+	}
+}

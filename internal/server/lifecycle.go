@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"tcam/internal/index"
+	"tcam/internal/rescache"
 )
 
 // Default per-endpoint in-flight budgets. The single-query endpoint is
@@ -40,6 +41,14 @@ type Server struct {
 	// ingestStat is the attached Updater's view for /healthz; nil until
 	// an updater attaches (updater.go).
 	ingestStat atomic.Pointer[ingestStatus]
+
+	// cache is the epoch-versioned result cache (cache.go); nil unless
+	// WithCache enabled it. hot tracks request frequency per user for
+	// publish-time precomputation; it is non-nil exactly when cache is.
+	cache          *rescache.Cache[cachedTopK]
+	hot            *rescache.HotTracker
+	precomputeHot  int           // hottest users warmed per publish
+	hotPrecomputed atomic.Uint64 // users actually warmed by the latest publish
 
 	reloadMu sync.Mutex // serializes Reload/ReloadFromSource
 	reload   func() (*index.Bundle, error)
@@ -222,6 +231,10 @@ func (s *Server) Reload(b *index.Bundle) (uint64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	sn := newSnapshot(b, s.snap.Load().version+1, s.itemLo, s.itemHi)
+	// Warm the new epoch before it goes live: a request can only name
+	// this version once the store below publishes it, so hot users find
+	// their answers already cached on their first post-publish hit.
+	s.precompute(sn)
 	s.snap.Store(sn)
 	s.logf("reloaded bundle: version %d, %d users, %d items", sn.version, len(b.Users), len(b.Items))
 	return sn.version, nil

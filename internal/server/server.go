@@ -34,6 +34,7 @@ import (
 
 	"tcam/internal/faultinject"
 	"tcam/internal/index"
+	"tcam/internal/rescache"
 	"tcam/internal/topk"
 )
 
@@ -127,6 +128,7 @@ type healthResponse struct {
 	Draining  bool              `json:"draining,omitempty"`
 	ItemRange *itemRangeBody    `json:"item_range,omitempty"`
 	Ingest    *ingestHealthBody `json:"ingest,omitempty"`
+	Cache     *cacheHealthBody  `json:"cache,omitempty"`
 }
 
 // itemRangeBody is a contiguous [Lo, Hi) catalog window in JSON form.
@@ -155,6 +157,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.ItemRange = &itemRangeBody{Lo: s.itemLo, Hi: s.itemHi}
 	}
 	resp.Ingest = s.ingestHealth(time.Now())
+	resp.Cache = s.cacheHealth(sn)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -211,25 +214,50 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var exclude topk.Exclude
+	var exh rescache.SetHash
 	if raw := q.Get("exclude"); raw != "" {
 		ex := sn.acquireExclude()
 		defer sn.excludes.Put(ex)
 		for raw != "" {
 			var id string
 			id, raw, _ = strings.Cut(raw, ",")
-			if v, ok := sn.itemIdx[id]; ok {
+			// Deduplicate while resolving so the set hash is canonical:
+			// ?exclude=a,a,b and ?exclude=b,a share one cache entry.
+			if v, ok := sn.itemIdx[id]; ok && !ex.has(v) {
 				ex.add(v)
+				exh.Add(uint64(v))
 			}
 		}
 		exclude = ex.has
 	}
 	t := sn.bundle.Grid.IntervalOf(when)
-	// Build the response before Release: the pooled searcher owns the
+	if s.hot != nil {
+		s.hot.Observe(rescache.HashString(userID))
+	}
+	key := topkKey(u, t, k, &exh)
+	if s.cache != nil {
+		if v, ok := s.cache.Get(sn.version, key); ok {
+			s.writeTopK(w, sn, userID, t, v.results, v.itemsExamined)
+			return
+		}
+	}
+	// Render the response before Release: the pooled searcher owns the
 	// result slice, which saves the copy Index.Query would make.
 	sr := sn.idx.AcquireSearcher()
 	results, st := sr.Query(sn.bundle.Scorer(), u, t, k, exclude)
+	if s.cache != nil {
+		s.cache.Put(sn.version, key, newCachedTopK(results, st))
+	}
+	s.writeTopK(w, sn, userID, t, results, st.ItemsExamined)
+	sr.Release()
+}
+
+// writeTopK renders one /recommend payload from a ranked result slice
+// — the shared tail of the cached and computed paths, so a hit is
+// byte-identical to the response the TA search would have written.
+func (s *Server) writeTopK(w http.ResponseWriter, sn *snapshot, userID string, t int, results []topk.Result, itemsExamined int) {
 	recs := recsPool.Get().(*[]recommendation)
-	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: st.ItemsExamined}
+	resp := recommendResponse{User: userID, Interval: t, ItemsExamined: itemsExamined}
 	resp.Recommendations = (*recs)[:0]
 	for _, res := range results {
 		resp.Recommendations = append(resp.Recommendations, recommendation{
@@ -237,7 +265,6 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			Score: res.Score,
 		})
 	}
-	sr.Release()
 	writeJSON(w, http.StatusOK, resp)
 	*recs = resp.Recommendations[:0]
 	recsPool.Put(recs)
@@ -319,6 +346,10 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	sn := s.snapshot()
 	resp := batchResponse{Results: make([]recommendResponse, len(req.Queries))}
 	queries := make([]topk.BatchQuery, len(req.Queries))
+	var cstate []batchCacheState
+	if s.cache != nil {
+		cstate = make([]batchCacheState, len(req.Queries))
+	}
 	for i, q := range req.Queries {
 		out := &resp.Results[i]
 		out.User = q.User
@@ -336,16 +367,28 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		var exclude topk.Exclude
+		var exh rescache.SetHash
 		if len(q.Exclude) > 0 {
 			banned := make(map[int]bool, len(q.Exclude))
 			for _, id := range q.Exclude {
-				if v, ok := sn.itemIdx[id]; ok {
+				if v, ok := sn.itemIdx[id]; ok && !banned[v] {
 					banned[v] = true
+					exh.Add(uint64(v))
 				}
 			}
 			exclude = func(v int) bool { return banned[v] }
 		}
 		out.Interval = sn.bundle.Grid.IntervalOf(q.Time)
+		if s.hot != nil {
+			s.hot.Observe(rescache.HashString(q.User))
+		}
+		if cstate != nil {
+			cstate[i].key = topkKey(u, out.Interval, k, &exh)
+			if v, ok := s.cache.Get(sn.version, cstate[i].key); ok {
+				cstate[i].val, cstate[i].hit = v, true
+				continue // cached: the zero-value BatchQuery skips the TA
+			}
+		}
 		queries[i] = topk.BatchQuery{U: u, T: out.Interval, K: k, Exclude: exclude}
 	}
 	batch := sn.idx.QueryBatchContext(r.Context(), sn.bundle.Scorer(), queries, 0)
@@ -353,7 +396,11 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	// allocation (plus capped windows so a stray append can't alias a
 	// neighbour) instead of one grown slice per query.
 	total := 0
-	for _, br := range batch {
+	for i, br := range batch {
+		if cstate != nil && cstate[i].hit {
+			total += len(cstate[i].val.results)
+			continue
+		}
 		total += len(br.Results)
 	}
 	arena := make([]recommendation, 0, total)
@@ -362,9 +409,19 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		if out.Error != "" {
 			continue
 		}
-		out.ItemsExamined = br.Stats.ItemsExamined
+		results, examined := br.Results, br.Stats.ItemsExamined
+		if cstate != nil {
+			if cstate[i].hit {
+				results, examined = cstate[i].val.results, cstate[i].val.itemsExamined
+			} else if br.Done {
+				// Done guards against caching the empty answer of a
+				// query the cancelled batch never ran.
+				s.cache.Put(sn.version, cstate[i].key, newCachedTopK(br.Results, br.Stats))
+			}
+		}
+		out.ItemsExamined = examined
 		start := len(arena)
-		for _, res := range br.Results {
+		for _, res := range results {
 			arena = append(arena, recommendation{
 				Item:  sn.bundle.Items[res.Item],
 				Score: res.Score,

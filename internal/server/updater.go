@@ -27,6 +27,7 @@ import (
 	"tcam/internal/faultinject"
 	"tcam/internal/index"
 	"tcam/internal/ingest"
+	"tcam/internal/rescache"
 )
 
 // DefaultUpdaterInterval is Run's poll period when the config leaves
@@ -152,6 +153,12 @@ func (u *Updater) Step() (bool, error) {
 		t := u.intervalOf(r.Time)
 		if t >= numT {
 			numT = t + 1
+		}
+		if u.srv.hot != nil {
+			// Seed the hot-user sketch from the event stream: users who
+			// act also read, so publish-time precompute has a ranking
+			// even before serve traffic arrives.
+			u.srv.hot.Observe(rescache.HashString(r.User))
 		}
 		evs = append(evs, event{u: ui, t: t, v: vi, score: r.Score})
 		return nil

@@ -17,8 +17,11 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"tcam/internal/client"
 	"tcam/internal/faultinject"
+	"tcam/internal/rescache"
 )
 
 // ShardConfig describes one shard of the fleet.
@@ -52,6 +55,10 @@ type Config struct {
 	// Logger directs coordinator logging (recovered panics, shard
 	// failures). Without it the coordinator is silent.
 	Logger *log.Logger
+	// CacheEntries enables the merged-result cache with room for about
+	// this many answers (see cache.go); non-positive leaves caching
+	// off, the default.
+	CacheEntries int
 }
 
 // Coordinator scatter-gathers queries across a shard fleet and merges
@@ -64,6 +71,12 @@ type Coordinator struct {
 	timeout time.Duration
 	logger  *log.Logger
 	mux     *http.ServeMux
+
+	// cache holds merged Responses (treated as immutable once cached),
+	// epoch-versioned by the observed fleet state; nil when disabled.
+	cache      *rescache.Cache[*Response]
+	fleetEpoch atomic.Uint64 // fleetEpochOf the latest scatter
+	reqSeq     atomic.Uint64 // Recommend calls, for the passthrough cadence
 }
 
 // shardConn is the coordinator's per-shard state: transport, breaker,
@@ -90,6 +103,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if c.timeout <= 0 {
 		c.timeout = 2 * time.Second
+	}
+	if cfg.CacheEntries > 0 {
+		c.cache = rescache.New[*Response](cfg.CacheEntries)
 	}
 	shared := &http.Client{Timeout: 30 * time.Second}
 	ordered := make([]ShardConfig, len(cfg.Shards))
@@ -271,6 +287,19 @@ type Response struct {
 // and the error is ErrAllShardsDown when none did. A userError-backed
 // 404 from any shard propagates as-is.
 func (c *Coordinator) Recommend(ctx context.Context, user string, when int64, k int, exclude []string) (*Response, error) {
+	var key rescache.Key
+	if c.cache != nil {
+		key = c.cacheKey(user, when, k, exclude)
+		// Every cachePassthroughEvery-th request scatters regardless, so
+		// the observed fleet epoch can't go stale under a 100% hit rate.
+		if c.reqSeq.Add(1)%cachePassthroughEvery != 0 {
+			// Key.User is a hash: re-check the cached identity so a user
+			// collision degrades to a miss, never a wrong answer.
+			if resp, ok := c.cache.Get(c.fleetEpoch.Load(), key); ok && resp.User == user {
+				return resp, nil
+			}
+		}
+	}
 	faultinject.Fire("coordinator.scatter")
 	req := &shardRequest{User: user, Time: when, K: k, Exclude: exclude}
 	parts := make([]*partialResponse, len(c.shards))
@@ -317,6 +346,16 @@ func (c *Coordinator) Recommend(ctx context.Context, user string, when int64, k 
 	}
 	for _, res := range merged {
 		resp.Recommendations = append(resp.Recommendations, Recommendation{Item: res.Name, Score: res.Score})
+	}
+	if c.cache != nil {
+		// Advance the observed epoch, then cache the merge under the
+		// missing set that actually happened (Scope was the expected
+		// set for the lookup): a degraded answer can only ever be
+		// served while that exact degradation is expected.
+		ep := fleetEpochOf(parts)
+		c.fleetEpoch.Store(ep)
+		key.Scope = missingScopeOf(parts)
+		c.cache.Put(ep, key, resp)
 	}
 	return resp, nil
 }
@@ -390,8 +429,9 @@ type shardHealth struct {
 
 // healthResponse is the coordinator's /healthz payload.
 type healthResponse struct {
-	Status string        `json:"status"`
-	Shards []shardHealth `json:"shards"`
+	Status string          `json:"status"`
+	Shards []shardHealth   `json:"shards"`
+	Cache  *coordCacheBody `json:"cache,omitempty"`
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -403,6 +443,7 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	for i, sc := range c.shards {
 		resp.Shards[i] = shardHealth{BaseURL: sc.base, Items: sc.items, Breaker: sc.breaker.State().String()}
 	}
+	resp.Cache = c.cacheHealth()
 	writeJSON(w, http.StatusOK, resp)
 }
 

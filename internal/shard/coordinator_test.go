@@ -59,6 +59,7 @@ type fleet struct {
 	bundle   *index.Bundle
 	ranges   []Range
 	counters []*atomic.Int64
+	servers  []*server.Server // the shard servers, for reload-driven epoch tests
 }
 
 // newFleet spins n shard servers over Partition(12, n). mut edits the
@@ -82,6 +83,7 @@ func newFleet(tb testing.TB, n int, mut func(*Config), wrap func(i int, h http.H
 		if err != nil {
 			tb.Fatal(err)
 		}
+		f.servers = append(f.servers, srv)
 		var h http.Handler = srv
 		if wrap != nil {
 			h = wrap(i, h)

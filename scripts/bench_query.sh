@@ -17,9 +17,9 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # run_bench <pkg> <bench regex> [extra go test flags...]: one go test
-# invocation appended to $raw, failing loudly when the regex matches no
-# benchmark (a renamed benchmark must not silently vanish from the
-# snapshot).
+# invocation appended to $raw, failing loudly when any '|'-separated
+# branch of the regex matches no benchmark line (a renamed benchmark
+# must not silently vanish from the snapshot).
 run_bench() {
     pkg=$1
     pattern=$2
@@ -27,18 +27,31 @@ run_bench() {
     step=$(mktemp)
     go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
         "$@" "$pkg" | tee "$step"
-    if ! grep -q '^Benchmark' "$step"; then
-        rm -f "$step"
-        echo "bench_query.sh: no benchmarks matched '$pattern' in $pkg" >&2
-        exit 1
-    fi
+    for branch in $(printf '%s' "$pattern" | tr '|' ' '); do
+        # Anchors are for go test's matcher; the presence check just
+        # needs the name (output lines may carry a -GOMAXPROCS suffix).
+        name=$(printf '%s' "$branch" | tr -d '^$')
+        if ! grep -q "^Benchmark.*${name#Benchmark}" "$step"; then
+            rm -f "$step"
+            echo "bench_query.sh: no benchmark matched branch '$branch' of '$pattern' in $pkg" >&2
+            exit 1
+        fi
+    done
     cat "$step" >> "$raw"
     rm -f "$step"
 }
 
 run_bench ./internal/topk/ 'BenchmarkTAQuery|BenchmarkBuildIndex'
 run_bench ./internal/topk/ 'BenchmarkQueryBatch' -cpu 1,2,4,8
-run_bench ./internal/server/ 'BenchmarkServerRecommend'
+run_bench ./internal/server/ 'BenchmarkServerRecommend$|BenchmarkServerRecommendExclude$|BenchmarkServerRecommendBatch$'
+# Result-cache microbenchmarks (DESIGN.md §16): hit/miss/insert on the
+# sharded epoch-versioned cache, plus the hot-user sketch update.
+run_bench ./internal/rescache/ 'BenchmarkCacheHit$|BenchmarkCacheMiss$|BenchmarkCachePut$|BenchmarkHotObserve$'
+# End-to-end cache phases over a Zipf workload: uncached baseline
+# (cold: every query pays the TA scan), warmed steady state, and a
+# multi-epoch run that republishes mid-stream with hot-user precompute.
+# The Zipf records carry "hit_rate" (and "epochs") alongside ns/op.
+run_bench ./internal/server/ 'BenchmarkServerRecommendCacheHit$|BenchmarkServerZipfUncached$|BenchmarkServerZipfCacheWarm$|BenchmarkServerZipfCacheEpochs$|BenchmarkReloadPrecompute$'
 # Scatter-gather cost curve: one /recommend through live shard servers
 # (real HTTP per leg) at fleet sizes 1, 2 and 4.
 run_bench ./internal/shard/ 'BenchmarkCoordinator'
@@ -58,6 +71,8 @@ BEGIN { print "{"; printf "  \"cpus\": %d,\n  \"benchmarks\": [\n", ncpu }
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $i)
         if ($(i+1) == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $i)
+        if ($(i+1) == "hit_rate")  line = line sprintf(", \"hit_rate\": %s", $i)
+        if ($(i+1) == "epochs")    line = line sprintf(", \"epochs\": %s", $i)
     }
     line = line "}"
     if (n++) printf ",\n"

@@ -11,7 +11,10 @@
 #      cannot silently break the GOMAXPROCS sweep between full bench
 #      runs;
 #   4. the streaming-ingestion benchmarks (scripts/bench_ingest.sh)
-#      must still run.
+#      must still run;
+#   5. the result cache's hit path must report 0 allocs/op — a cached
+#      answer that allocates is a regression of the DESIGN.md §16
+#      contract.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu
@@ -25,6 +28,17 @@ if ! echo "$bench_out" | awk '
     /^Benchmark/ { if ($(NF-1) + 0 != 0) bad = 1 }
     END { exit bad }'; then
     echo "bench_smoke.sh: pooled-searcher benchmark allocates (want 0 allocs/op)" >&2
+    exit 1
+fi
+
+cache_out=$(go test ./internal/rescache -run - \
+    -bench 'BenchmarkCacheHit$|BenchmarkHotObserve$' \
+    -benchmem -benchtime 200x -count=1)
+echo "$cache_out"
+if ! echo "$cache_out" | awk '
+    /^Benchmark/ { if ($(NF-1) + 0 != 0) bad = 1 }
+    END { exit bad }'; then
+    echo "bench_smoke.sh: result-cache hit path allocates (want 0 allocs/op)" >&2
     exit 1
 fi
 

@@ -38,7 +38,7 @@ scripts/check_bce.sh
 go test -race -count=1 ./internal/topk/ ./internal/server/ ./internal/eval/ \
     ./internal/faultinject/... ./internal/client/ ./internal/atomicfile/ \
     ./internal/ingest/ ./internal/train/ ./internal/shard/ \
-    ./cmd/tcamserver/ ./cmd/tcamshard/
+    ./internal/rescache/ ./cmd/tcamserver/ ./cmd/tcamshard/
 
 if [ "${1:-}" != "-short" ]; then
     go test ./...
